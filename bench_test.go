@@ -1,0 +1,87 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one testing.B target per artifact. They run the same code
+// as cmd/supg-bench at a reduced scale so `go test -bench=.` finishes in
+// minutes; run the CLI with -scale 1.0 -trials 100 for paper-scale
+// numbers. Each benchmark reports the experiment's wall time per
+// regeneration; the printed report of one representative run lands in
+// bench_output.txt via the harness.
+package supg_test
+
+import (
+	"testing"
+
+	"supg/internal/experiments"
+)
+
+// benchOpts is the reduced-scale configuration shared by all benchmarks.
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 0x5069, Trials: 10, Scale: 0.02, Parallelism: 0}
+}
+
+func benchmarkExperiment(b *testing.B, id string) {
+	exp, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	opts := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := exp.Run(opts)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Table.Rows) == 0 {
+			b.Fatalf("%s produced an empty report", id)
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1 (naive vs SUPG precision boxes on
+// ImageNet).
+func BenchmarkFig1(b *testing.B) { benchmarkExperiment(b, "fig1") }
+
+// BenchmarkTable2 regenerates Table 2 (dataset inventory).
+func BenchmarkTable2(b *testing.B) { benchmarkExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates Table 3 (drifted dataset inventory).
+func BenchmarkTable3(b *testing.B) { benchmarkExperiment(b, "table3") }
+
+// BenchmarkTable4 regenerates Table 4 (accuracy under model drift).
+func BenchmarkTable4(b *testing.B) { benchmarkExperiment(b, "table4") }
+
+// BenchmarkTable5 regenerates Table 5 (cost breakdown).
+func BenchmarkTable5(b *testing.B) { benchmarkExperiment(b, "table5") }
+
+// BenchmarkFig5 regenerates Figure 5 (precision-target failure boxes,
+// all six datasets).
+func BenchmarkFig5(b *testing.B) { benchmarkExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6 (recall-target failure boxes).
+func BenchmarkFig6(b *testing.B) { benchmarkExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7 (precision-target sweep: U-CI vs
+// one-stage vs two-stage importance sampling).
+func BenchmarkFig7(b *testing.B) { benchmarkExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8 (recall-target sweep: U-CI vs
+// proportional vs sqrt weights).
+func BenchmarkFig8(b *testing.B) { benchmarkExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9 (proxy-noise sensitivity).
+func BenchmarkFig9(b *testing.B) { benchmarkExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10 (class-imbalance sensitivity).
+func BenchmarkFig10(b *testing.B) { benchmarkExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11 (parameter sensitivity: stride m
+// and defensive mixing).
+func BenchmarkFig11(b *testing.B) { benchmarkExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Figure 12 (importance-weight exponent).
+func BenchmarkFig12(b *testing.B) { benchmarkExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates Figure 13 (confidence-interval methods).
+func BenchmarkFig13(b *testing.B) { benchmarkExperiment(b, "fig13") }
+
+// BenchmarkFig15 regenerates Figure 15 (joint-target oracle usage).
+func BenchmarkFig15(b *testing.B) { benchmarkExperiment(b, "fig15") }

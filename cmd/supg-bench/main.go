@@ -1,0 +1,92 @@
+// Command supg-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	supg-bench -list
+//	supg-bench -run fig5,fig6 -trials 100 -scale 1.0
+//	supg-bench -run all -scale 0.05 -trials 20
+//
+// Scale 1.0 reproduces the paper's dataset sizes (up to 10^6 records);
+// smaller scales shrink datasets and budgets proportionally for quick
+// shape checks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"supg/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		trials  = flag.Int("trials", 100, "trials per configuration")
+		scale   = flag.Float64("scale", 1.0, "dataset/budget scale factor (1.0 = paper scale)")
+		seed    = flag.Uint64("seed", 0x5069, "random seed")
+		par     = flag.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
+		outPath = flag.String("out", "", "also append reports to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		Seed:        *seed,
+		Trials:      *trials,
+		Scale:       *scale,
+		Parallelism: *par,
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	var out *os.File
+	if *outPath != "" {
+		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatalf("opening %s: %v", *outPath, err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		exp, ok := experiments.Find(id)
+		if !ok {
+			fatalf("unknown experiment %q (try -list)", id)
+		}
+		start := time.Now()
+		rep, err := exp.Run(opts)
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		text := rep.String()
+		fmt.Println(text)
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		if out != nil {
+			fmt.Fprintln(out, text)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "supg-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command supg-server runs the SUPG HTTP service: upload datasets and
+// execute SUPG queries over the network.
+//
+// Usage:
+//
+//	supg-server -addr :8080 [-preload beta]
+//
+// API:
+//
+//	GET  /healthz
+//	GET  /v1/datasets
+//	PUT  /v1/datasets/{name}      body: CSV (id,proxy_score,label) or
+//	                              binary with Content-Type: application/octet-stream
+//	POST /v1/query                body: {"sql": "SELECT * FROM ..."}
+//
+// Example session:
+//
+//	supg-datagen -kind beta -n 100000 -out /tmp/beta.csv
+//	curl -X PUT --data-binary @/tmp/beta.csv localhost:8080/v1/datasets/beta
+//	curl -X POST localhost:8080/v1/query -d '{"sql":
+//	  "SELECT * FROM beta WHERE beta_oracle(x) = true ORACLE LIMIT 1000
+//	   USING beta_proxy(x) RECALL TARGET 90% WITH PROBABILITY 95%"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"supg/internal/dataset"
+	"supg/internal/randx"
+	"supg/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		seed    = flag.Uint64("seed", 1, "query randomness seed")
+		preload = flag.String("preload", "", "preload a demo dataset: beta|imagenet|nightstreet")
+		n       = flag.Int("n", 100_000, "preloaded dataset size (beta/nightstreet)")
+	)
+	flag.Parse()
+
+	srv := server.New(*seed)
+	if *preload != "" {
+		r := randx.New(*seed)
+		var d *dataset.Dataset
+		switch *preload {
+		case "beta":
+			d = dataset.Beta(r, *n, 0.01, 2)
+		case "imagenet":
+			d = dataset.ImageNetSim(r)
+		case "nightstreet":
+			d = dataset.NightStreetSimN(r, *n)
+		default:
+			log.Fatalf("supg-server: unknown preload %q", *preload)
+		}
+		srv.RegisterDataset(*preload, d)
+		fmt.Printf("preloaded %s: %d records (%.3f%% positive)\n",
+			*preload, d.Len(), 100*d.PositiveRate())
+	}
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("supg-server listening on %s\n", *addr)
+	log.Fatal(httpServer.ListenAndServe())
+}

@@ -1,0 +1,98 @@
+// Command supg runs a SUPG query (the paper's Figure 3 / 14 SQL
+// dialect) against a CSV dataset of proxy scores and labels.
+//
+// Usage:
+//
+//	supg -data video.csv -query 'SELECT * FROM data
+//	  WHERE data_oracle(frame) = true
+//	  ORACLE LIMIT 1000
+//	  USING data_proxy(frame)
+//	  RECALL TARGET 90%
+//	  WITH PROBABILITY 95%'
+//
+// The CSV must use the interchange layout id,proxy_score,label. The
+// table is registered as "data" with UDFs data_oracle / data_proxy.
+// Because the CSV carries ground-truth labels, the command also reports
+// the achieved precision and recall of the returned set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"supg/internal/dataset"
+	"supg/internal/engine"
+	"supg/internal/metrics"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "CSV dataset (id,proxy_score,label)")
+		queryText = flag.String("query", "", "SUPG query text")
+		queryFile = flag.String("query-file", "", "file containing the SUPG query")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		showIDs   = flag.Int("show", 10, "number of returned record ids to print")
+	)
+	flag.Parse()
+
+	if *dataPath == "" {
+		fatalf("missing -data")
+	}
+	sql := *queryText
+	if sql == "" && *queryFile != "" {
+		b, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fatalf("reading query file: %v", err)
+		}
+		sql = string(b)
+	}
+	if strings.TrimSpace(sql) == "" {
+		fatalf("missing -query or -query-file")
+	}
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatalf("opening dataset: %v", err)
+	}
+	var d *dataset.Dataset
+	if strings.HasSuffix(*dataPath, ".bin") {
+		d, err = dataset.ReadBinary(f, "data")
+	} else {
+		d, err = dataset.ReadCSV(f, "data")
+	}
+	f.Close()
+	if err != nil {
+		fatalf("parsing dataset: %v", err)
+	}
+
+	eng := engine.New(*seed)
+	eng.RegisterDatasetDefaults("data", d)
+
+	res, err := eng.Execute(sql)
+	if err != nil {
+		fatalf("executing query: %v", err)
+	}
+
+	eval := metrics.Evaluate(d, res.Indices)
+	fmt.Printf("records:            %d\n", d.Len())
+	fmt.Printf("returned:           %d\n", len(res.Indices))
+	fmt.Printf("proxy threshold:    %g\n", res.Tau)
+	fmt.Printf("oracle calls:       %d\n", res.OracleCalls)
+	fmt.Printf("elapsed:            %v (proxy scan %v)\n", res.Elapsed, res.ProxyElapsed)
+	fmt.Printf("achieved precision: %.2f%%\n", 100*eval.Precision)
+	fmt.Printf("achieved recall:    %.2f%%\n", 100*eval.Recall)
+	if *showIDs > 0 && len(res.Indices) > 0 {
+		n := *showIDs
+		if n > len(res.Indices) {
+			n = len(res.Indices)
+		}
+		fmt.Printf("first %d ids:       %v\n", n, res.Indices[:n])
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "supg: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Package supg is a Go implementation of SUPG — approximate selection
+// queries with statistical guarantees using proxies (Kang, Gan, Bailis,
+// Hashimoto, Zaharia; PVLDB 13(11), 2020).
+//
+// A SUPG query selects the records of a dataset matching an expensive
+// oracle predicate (a human labeler or a large model) using only a
+// limited budget of oracle calls, guided by cheap proxy scores. Unlike
+// the empirical-cutoff heuristics of earlier systems, SUPG queries come
+// with a probabilistic guarantee: the returned set meets a minimum
+// recall or precision target with probability at least 1-delta.
+//
+// # Quick start
+//
+//	scores := ...                  // proxy confidence per record, in [0,1]
+//	oracle := supg.OracleFunc(func(i int) (bool, error) {
+//	    return expensiveCheck(i), nil // human label or big-model call
+//	})
+//	res, err := supg.Run(scores, oracle, supg.Query{
+//	    Kind:        supg.RecallQuery,
+//	    Target:      0.90,
+//	    Probability: 0.95,
+//	    OracleLimit: 1000,
+//	})
+//	// res.Indices meets 90% recall with >= 95% probability.
+//
+// The SQL-style interface of the paper's Figure 3 is available through
+// Engine:
+//
+//	eng := supg.NewEngine(42)
+//	eng.RegisterDatasetDefaults("video", ds)
+//	res, err := eng.Execute(`
+//	    SELECT * FROM video
+//	    WHERE video_oracle(frame) = true
+//	    ORACLE LIMIT 1000
+//	    USING video_proxy(frame)
+//	    RECALL TARGET 90%
+//	    WITH PROBABILITY 95%`)
+//
+// # Algorithms
+//
+// Run defaults to the paper's SUPG configuration: importance sampling
+// with square-root proxy weights, 10% defensive uniform mixing, and
+// two-stage sampling for precision targets. The baselines evaluated in
+// the paper (uniform sampling with and without confidence intervals)
+// are available through WithMethod for comparison, and the
+// confidence-interval construction, weight exponent, mixing ratio and
+// candidate stride are all tunable through Options.
+package supg

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"supg/internal/oracle"
+	"supg/internal/randx"
+	"supg/internal/sampling"
+)
+
+// This file implements the SUPG importance-sampling estimators:
+// Algorithm 4 (IS-CI-R) and Algorithm 5 (IS-CI-P, two-stage) plus the
+// one-stage precision variant evaluated in Figure 7. Sampling weights
+// are proxy scores raised to cfg.WeightExponent (paper optimum: 0.5,
+// Theorem 1) defensively mixed with the uniform distribution.
+
+// estimateISRecall implements Algorithm 4. It reuses the Algorithm 2
+// body on an importance-weighted sample: the reweighted indicators
+// O(x)·m(x) make the UB/LB machinery estimate dataset-level recall.
+func estimateISRecall(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+	weights := sampling.DefensiveWeights(scores, cfg.WeightExponent, cfg.Mix)
+	s, err := drawWeighted(r, scores, weights, o, spec.Budget)
+	if err != nil {
+		return TauResult{}, err
+	}
+	b := newBounder(cfg, r.Stream(0xc0))
+	tau, err := recallThresholdWithCI(s, spec, b)
+	if err != nil {
+		return TauResult{Tau: selectAllTau, Labeled: s.labels, OracleCalls: s.calls}, err
+	}
+	return TauResult{Tau: tau, Labeled: s.labels, OracleCalls: s.calls}, nil
+}
+
+// scoreIndex supports O(log n) exact |D(τ)| counts via a sorted copy of
+// the proxy-score column.
+type scoreIndex struct {
+	sorted []float64
+}
+
+func newScoreIndex(scores []float64) *scoreIndex {
+	s := make([]float64, len(scores))
+	copy(s, scores)
+	sort.Float64s(s)
+	return &scoreIndex{sorted: s}
+}
+
+// countAtLeast returns |{x : A(x) >= tau}| exactly.
+func (ix *scoreIndex) countAtLeast(tau float64) int {
+	return len(ix.sorted) - sort.SearchFloat64s(ix.sorted, tau)
+}
+
+// kthHighest returns the k-th highest score (k is 0-based); k beyond the
+// data returns the minimum score.
+func (ix *scoreIndex) kthHighest(k int) float64 {
+	n := len(ix.sorted)
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return ix.sorted[n-1-k]
+}
+
+// estimateISPrecision implements Algorithm 5 (two-stage) or its
+// one-stage variant, per cfg.TwoStage.
+//
+// Implementation note (documented in DESIGN.md): for candidate
+// certification we lower-bound the positive count Σ_D 1[A>=τ]·O by
+// importance sampling and divide by the exactly known |D(τ)|. This
+// keeps the estimator unbiased under weighted sampling, whereas the
+// plain subset-mean of Algorithm 3 is only unbiased for uniform draws.
+func estimateISPrecision(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+	if cfg.TwoStage {
+		return estimateISPrecisionTwoStage(r, scores, o, spec, cfg)
+	}
+	return estimateISPrecisionOneStage(r, scores, o, spec, cfg)
+}
+
+func estimateISPrecisionOneStage(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+	weights := sampling.DefensiveWeights(scores, cfg.WeightExponent, cfg.Mix)
+	s, err := drawWeighted(r, scores, weights, o, spec.Budget)
+	if err != nil {
+		return TauResult{}, err
+	}
+	b := newBounder(cfg, r.Stream(0xc1))
+	ix := newScoreIndex(scores)
+	tau := certifyMinPrecisionTau(s, ix, float64(len(scores)), spec, cfg, b, spec.Delta)
+	return TauResult{Tau: tau, Labeled: s.labels, OracleCalls: s.calls}, nil
+}
+
+func estimateISPrecisionTwoStage(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+	n := len(scores)
+	weights := sampling.DefensiveWeights(scores, cfg.WeightExponent, cfg.Mix)
+	b := newBounder(cfg, r.Stream(0xc2))
+	ix := newScoreIndex(scores)
+
+	// Stage 1: estimate an upper bound on the number of matches with
+	// half the budget, spending half the failure probability.
+	half := spec.Budget / 2
+	s0, err := drawWeighted(r.Stream(1), scores, weights, o, half)
+	if err != nil {
+		return TauResult{}, err
+	}
+	z := make([]float64, s0.len())
+	for i := range z {
+		z[i] = s0.label[i] * s0.m[i]
+	}
+	nMatchUB := float64(n) * b.upper(z, spec.Delta/2, math.Max(s0.maxM, 1))
+	if nMatchUB < 0 {
+		nMatchUB = 0
+	}
+
+	// Restrict stage 2 to D' — the records whose score is at least the
+	// (nMatch/γ)-th highest: no lower threshold can reach precision γ.
+	cut := int(nMatchUB / spec.Gamma)
+	aCut := ix.kthHighest(cut)
+	var subset []int
+	for i, sc := range scores {
+		if sc >= aCut {
+			subset = append(subset, i)
+		}
+	}
+	if len(subset) == 0 {
+		// Degenerate: no plausible matches anywhere.
+		return TauResult{Tau: noSelectionTau(), Labeled: s0.labels, OracleCalls: s0.calls}, nil
+	}
+
+	// Stage 2: weighted sampling within D', candidate certification with
+	// the remaining half of the budget and failure probability.
+	s1, err := drawWeightedSubset(r.Stream(2), scores, subset, weights, o, spec.Budget-half)
+	if err != nil {
+		return TauResult{}, err
+	}
+	tau := certifyMinPrecisionTau(s1, ix, float64(len(subset)), spec, cfg, b, spec.Delta/2)
+
+	labels := make(map[int]bool, len(s0.labels)+len(s1.labels))
+	for k, v := range s0.labels {
+		labels[k] = v
+	}
+	for k, v := range s1.labels {
+		labels[k] = v
+	}
+	return TauResult{Tau: tau, Labeled: labels, OracleCalls: s0.calls + s1.calls}, nil
+}
+
+// certifyMinPrecisionTau scans every MinStep-th sampled score ascending
+// and returns the smallest candidate whose dataset precision is
+// certified above gamma with the given total failure probability split
+// across candidates by union bound. domainSize is the number of records
+// the sample's m(x) factors normalize over (|D| or |D'|).
+func certifyMinPrecisionTau(s *labeledSample, ix *scoreIndex, domainSize float64, spec Spec, cfg Config, b bounder, delta float64) float64 {
+	n := s.len()
+	numCandidates := n / cfg.MinStep
+	if numCandidates < 1 {
+		numCandidates = 1
+	}
+	deltaEach := delta / float64(numCandidates)
+	rangeHint := math.Max(s.maxM, 1)
+
+	y := make([]float64, n)
+	prev := math.Inf(-1)
+	for i := cfg.MinStep; i <= n; i += cfg.MinStep {
+		cand := s.score[i-1]
+		if cand == prev {
+			continue
+		}
+		prev = cand
+		for j := 0; j < n; j++ {
+			if s.score[j] >= cand {
+				y[j] = s.label[j] * s.m[j]
+			} else {
+				y[j] = 0
+			}
+		}
+		posLB := domainSize * b.lower(y, deltaEach, rangeHint)
+		sel := ix.countAtLeast(cand)
+		if sel == 0 {
+			continue
+		}
+		if posLB/float64(sel) > spec.Gamma {
+			return cand
+		}
+	}
+	return noSelectionTau()
+}

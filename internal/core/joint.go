@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"supg/internal/oracle"
+	"supg/internal/randx"
+)
+
+// JointSpec specifies an appendix JT query: simultaneous recall and
+// precision targets with no oracle budget (Figure 14). StageBudget is
+// the optimistic budget allocated to the stage-2 recall subroutine.
+type JointSpec struct {
+	GammaRecall    float64
+	GammaPrecision float64
+	Delta          float64
+	StageBudget    int
+}
+
+// Validate reports whether the joint spec is well-formed.
+func (s JointSpec) Validate() error {
+	if s.GammaRecall <= 0 || s.GammaRecall > 1 {
+		return fmt.Errorf("core: recall target %g outside (0, 1]", s.GammaRecall)
+	}
+	if s.GammaPrecision <= 0 || s.GammaPrecision > 1 {
+		return fmt.Errorf("core: precision target %g outside (0, 1]", s.GammaPrecision)
+	}
+	if s.Delta <= 0 || s.Delta >= 1 {
+		return fmt.Errorf("core: failure probability %g outside (0, 1)", s.Delta)
+	}
+	if s.StageBudget < 2 {
+		return fmt.Errorf("core: stage budget %d too small", s.StageBudget)
+	}
+	return nil
+}
+
+// JointResult is the outcome of a JT query.
+type JointResult struct {
+	// Indices is the sorted final result set (all oracle-verified
+	// positives, so its precision is 1).
+	Indices []int
+	// OracleCalls is the total number of oracle invocations across all
+	// three stages — the Figure 15 cost metric.
+	OracleCalls int
+	// Tau is the recall-stage threshold.
+	Tau float64
+	// CandidateSize is |R| before false-positive filtering.
+	CandidateSize int
+}
+
+// SelectJoint runs the appendix three-stage JT algorithm:
+//
+//  1. allocate StageBudget optimistically,
+//  2. run a recall-target subroutine (cfg selects U-CI or IS-CI) to
+//     reach GammaRecall with failure probability Delta,
+//  3. exhaustively filter false positives from the candidate set with
+//     further oracle calls.
+//
+// The final set retains every verified positive, so the recall
+// guarantee carries over from stage 2 and precision is 1 (>= any
+// GammaPrecision). The oracle is unbudgeted by JT semantics.
+func SelectJoint(r *randx.Rand, scores []float64, orc oracle.Oracle, spec JointSpec, cfg Config) (JointResult, error) {
+	if err := spec.Validate(); err != nil {
+		return JointResult{}, err
+	}
+	rtSpec := Spec{
+		Kind:   RecallTarget,
+		Gamma:  spec.GammaRecall,
+		Delta:  spec.Delta,
+		Budget: spec.StageBudget,
+	}
+	// The stage-3 exhaustive filter needs unrestricted oracle access;
+	// wrap with an effectively unlimited budget so call accounting
+	// still flows through the same path.
+	budgeted := oracle.NewBudgeted(orc, math.MaxInt/2)
+	stageBudgeted := oracle.NewBudgeted(budgeted, spec.StageBudget)
+
+	tr, err := EstimateTau(r, scores, stageBudgeted, rtSpec, cfg)
+	if err != nil {
+		if err != ErrNoPositives {
+			return JointResult{}, err
+		}
+		tr.Tau = selectAllTau // recall-safe fallback: verify everything
+	}
+	candidate := assemble(scores, tr)
+
+	// Stage 3: verify every candidate record; keep true positives.
+	var final []int
+	for _, i := range candidate.Indices {
+		lab, err := budgeted.Label(i)
+		if err != nil {
+			return JointResult{}, fmt.Errorf("core: joint filter stage: %w", err)
+		}
+		if lab {
+			final = append(final, i)
+		}
+	}
+	sort.Ints(final)
+	return JointResult{
+		Indices:       final,
+		OracleCalls:   budgeted.Used(),
+		Tau:           tr.Tau,
+		CandidateSize: len(candidate.Indices),
+	}, nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"supg/internal/oracle"
+	"supg/internal/randx"
+	"supg/internal/sampling"
+)
+
+// labeledSample is a set of oracle-labeled draws together with the
+// importance reweighting factors m(x) = u(x)/w(x). Uniform samples have
+// all m == 1. Draws are kept sorted by ascending proxy score.
+type labeledSample struct {
+	idx    []int     // record indices (possibly repeated for weighted draws)
+	score  []float64 // proxy score per draw
+	label  []float64 // oracle label per draw (0 or 1)
+	m      []float64 // reweighting factor per draw
+	maxM   float64   // max m over the sample (Hoeffding range hint)
+	calls  int       // budget-consuming oracle calls spent collecting it
+	labels map[int]bool
+}
+
+func (s *labeledSample) len() int { return len(s.idx) }
+
+// drawUniform collects k uniform-without-replacement labeled draws.
+func drawUniform(r *randx.Rand, scores []float64, o *oracle.Budgeted, k int) (*labeledSample, error) {
+	idx := sampling.UniformWithoutReplacement(r, len(scores), k)
+	m := make([]float64, len(idx))
+	for i := range m {
+		m[i] = 1
+	}
+	return labelDraws(scores, o, idx, m)
+}
+
+// drawWeighted collects k with-replacement draws from the defensive
+// mixture over the given weights (already normalized to sum 1), with
+// m(x) = (1/n) / w(x).
+func drawWeighted(r *randx.Rand, scores []float64, weights []float64, o *oracle.Budgeted, k int) (*labeledSample, error) {
+	if len(weights) != len(scores) {
+		return nil, fmt.Errorf("core: %d weights for %d scores", len(weights), len(scores))
+	}
+	idx := sampling.WeightedWithReplacement(r, weights, k)
+	if idx == nil {
+		return nil, fmt.Errorf("core: weighted sampling produced no draws")
+	}
+	u := 1.0 / float64(len(scores))
+	m := make([]float64, len(idx))
+	for i, j := range idx {
+		m[i] = u / weights[j]
+	}
+	return labelDraws(scores, o, idx, m)
+}
+
+// drawWeightedSubset draws k records from the subset of record indices
+// subset, with weights proportional to weightOf over the subset, and
+// m(x) = (1/|subset|) / w'(x) where w' is normalized within the subset.
+func drawWeightedSubset(r *randx.Rand, scores []float64, subset []int, weightOf []float64, o *oracle.Budgeted, k int) (*labeledSample, error) {
+	if len(subset) == 0 {
+		return nil, fmt.Errorf("core: empty subset for weighted sampling")
+	}
+	w := make([]float64, len(subset))
+	total := 0.0
+	for i, j := range subset {
+		w[i] = weightOf[j]
+		total += w[i]
+	}
+	if total <= 0 {
+		for i := range w {
+			w[i] = 1
+		}
+		total = float64(len(w))
+	}
+	local := sampling.WeightedWithReplacement(r, w, k)
+	if local == nil {
+		return nil, fmt.Errorf("core: weighted subset sampling produced no draws")
+	}
+	u := 1.0 / float64(len(subset))
+	idx := make([]int, len(local))
+	m := make([]float64, len(local))
+	for i, li := range local {
+		idx[i] = subset[li]
+		m[i] = u / (w[li] / total)
+	}
+	return labelDraws(scores, o, idx, m)
+}
+
+// labelDraws queries the oracle for each draw and assembles the sample,
+// sorted by ascending proxy score.
+func labelDraws(scores []float64, o *oracle.Budgeted, idx []int, m []float64) (*labeledSample, error) {
+	before := o.Used()
+	s := &labeledSample{
+		idx:    make([]int, len(idx)),
+		score:  make([]float64, len(idx)),
+		label:  make([]float64, len(idx)),
+		m:      make([]float64, len(idx)),
+		labels: make(map[int]bool, len(idx)),
+	}
+	order := make([]int, len(idx))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scores[idx[order[a]]] < scores[idx[order[b]]] })
+
+	for pos, oi := range order {
+		j := idx[oi]
+		lab, err := o.Label(j)
+		if err != nil {
+			return nil, fmt.Errorf("core: labeling record %d: %w", j, err)
+		}
+		s.idx[pos] = j
+		s.score[pos] = scores[j]
+		if lab {
+			s.label[pos] = 1
+		}
+		s.m[pos] = m[oi]
+		if s.m[pos] > s.maxM {
+			s.maxM = s.m[pos]
+		}
+		s.labels[j] = lab
+	}
+	s.calls = o.Used() - before
+	return s, nil
+}
+
+// weightedPositiveTotal returns Σ O(x)·m(x) over the sample — the
+// denominator of the reweighted recall estimate (Eq. 11).
+func (s *labeledSample) weightedPositiveTotal() float64 {
+	total := 0.0
+	for i := range s.label {
+		total += s.label[i] * s.m[i]
+	}
+	return total
+}
+
+// suffixPositive returns the array suf where suf[k] = Σ_{i>=k} O·m,
+// with one extra trailing 0 entry, so recall at threshold score[k]
+// (inclusive of ties handled by the caller) is suf[k]/total.
+func (s *labeledSample) suffixPositive() []float64 {
+	n := s.len()
+	suf := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suf[i] = suf[i+1] + s.label[i]*s.m[i]
+	}
+	return suf
+}
+
+// maxTauWithRecall returns the largest sampled score tau such that the
+// (reweighted) empirical recall of {A >= tau} is at least gamma — the
+// max{τ : Recall_S(τ) >= γ} primitive of Algorithms 2 and 4. The second
+// return is false when the sample has no positive mass.
+func (s *labeledSample) maxTauWithRecall(gamma float64) (float64, bool) {
+	total := s.weightedPositiveTotal()
+	if total <= 0 {
+		return 0, false
+	}
+	suf := s.suffixPositive()
+	n := s.len()
+	// Walk distinct score groups from the highest score downward; the
+	// first (largest) threshold whose suffix recall reaches gamma wins.
+	k := n
+	for k > 0 {
+		// Find the start of the tie group ending at k-1.
+		start := k - 1
+		for start > 0 && s.score[start-1] == s.score[k-1] {
+			start--
+		}
+		recall := suf[start] / total
+		if recall >= gamma {
+			return s.score[start], true
+		}
+		k = start
+	}
+	// Even including every sampled record the recall is < gamma, which
+	// cannot happen since suffix(0) == total; defensive fallback.
+	return s.score[0], true
+}
+
+// groupStarts returns the index of the first draw of each distinct
+// score-tie group, ascending.
+func (s *labeledSample) groupStarts() []int {
+	var starts []int
+	for i := 0; i < s.len(); i++ {
+		if i == 0 || s.score[i] != s.score[i-1] {
+			starts = append(starts, i)
+		}
+	}
+	return starts
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"supg/internal/oracle"
+	"supg/internal/randx"
+)
+
+// EstimateTau dispatches to the configured threshold-estimation
+// algorithm (the SampleOracle + EstimateTau stages of Algorithm 1).
+// The oracle must already be budget-wrapped; estimators never exceed
+// spec.Budget draws.
+func EstimateTau(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+	if err := spec.Validate(); err != nil {
+		return TauResult{}, err
+	}
+	if len(scores) == 0 {
+		return TauResult{}, fmt.Errorf("core: empty dataset")
+	}
+	cfg = cfg.normalize()
+
+	if cfg.FiniteSample {
+		if spec.Kind == RecallTarget {
+			return estimateFiniteRecall(r, scores, o, spec)
+		}
+		// Precision targets: Algorithm 3 with exact Clopper-Pearson
+		// certificates is finite-sample valid under uniform sampling.
+		cfg.Method = MethodUCI
+		cfg.Bound = BoundClopperPearson
+		return estimateUCIPrecision(r, scores, o, spec, cfg)
+	}
+
+	switch cfg.Method {
+	case MethodUNoCI:
+		if spec.Kind == RecallTarget {
+			return estimateUNoCIRecall(r, scores, o, spec)
+		}
+		return estimateUNoCIPrecision(r, scores, o, spec)
+	case MethodUCI:
+		if spec.Kind == RecallTarget {
+			return estimateUCIRecall(r, scores, o, spec, cfg)
+		}
+		return estimateUCIPrecision(r, scores, o, spec, cfg)
+	case MethodISCI:
+		if spec.Kind == RecallTarget {
+			return estimateISRecall(r, scores, o, spec, cfg)
+		}
+		return estimateISPrecision(r, scores, o, spec, cfg)
+	}
+	return TauResult{}, fmt.Errorf("core: unknown method %v", cfg.Method)
+}
+
+// Select answers a SUPG query end to end (Algorithm 1): it wraps the
+// oracle with the budget, estimates tau, and returns
+// R = R1 ∪ R2 = {labeled positives} ∪ {x : A(x) >= tau}.
+//
+// For recall-target queries whose sample surfaces no positives, the
+// only recall-safe answer is the full dataset, which Select returns
+// (the query stays valid; its quality is the degenerate minimum).
+func Select(r *randx.Rand, scores []float64, orc oracle.Oracle, spec Spec, cfg Config) (Result, error) {
+	budgeted := oracle.NewBudgeted(orc, spec.Budget)
+	tr, err := EstimateTau(r, scores, budgeted, spec, cfg)
+	if err != nil && !errors.Is(err, ErrNoPositives) {
+		return Result{}, err
+	}
+	if errors.Is(err, ErrNoPositives) && spec.Kind == PrecisionTarget {
+		// No positives sampled: returning labeled positives only (an
+		// empty R1) is the valid PT answer.
+		tr.Tau = noSelectionTau()
+	}
+	return assemble(scores, tr), nil
+}
+
+// assemble constructs Algorithm 1's R1 ∪ R2 from a threshold estimate.
+func assemble(scores []float64, tr TauResult) Result {
+	include := make(map[int]struct{})
+	fromSample := 0
+	for i, lab := range tr.Labeled {
+		if lab {
+			include[i] = struct{}{}
+			fromSample++
+		}
+	}
+	if !math.IsInf(tr.Tau, 1) {
+		for i, s := range scores {
+			if s >= tr.Tau {
+				include[i] = struct{}{}
+			}
+		}
+	}
+	out := make([]int, 0, len(include))
+	for i := range include {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+
+	// Count how many returned records came only from labeling.
+	onlySample := 0
+	for i, lab := range tr.Labeled {
+		if lab && (math.IsInf(tr.Tau, 1) || scores[i] < tr.Tau) {
+			onlySample++
+		}
+	}
+	return Result{
+		Indices:          out,
+		Tau:              tr.Tau,
+		OracleCalls:      tr.OracleCalls,
+		SampledPositives: onlySample,
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"supg/internal/oracle"
+	"supg/internal/randx"
+)
+
+// This file implements the U-NoCI baselines (Section 5.1): uniform
+// sampling with the empirical cutoff and no confidence correction. This
+// is the strategy of NoScope and probabilistic predicates; it provides
+// no failure-probability guarantee and Figures 5/6 show it failing up
+// to ~75% of the time.
+
+// estimateUNoCIRecall implements Eq. 6: tau = max{τ : Recall_S(τ) >= γ}.
+func estimateUNoCIRecall(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec) (TauResult, error) {
+	s, err := drawUniform(r, scores, o, spec.Budget)
+	if err != nil {
+		return TauResult{}, err
+	}
+	tau, ok := s.maxTauWithRecall(spec.Gamma)
+	if !ok {
+		return TauResult{Tau: selectAllTau, Labeled: s.labels, OracleCalls: s.calls}, ErrNoPositives
+	}
+	return TauResult{Tau: tau, Labeled: s.labels, OracleCalls: s.calls}, nil
+}
+
+// estimateUNoCIPrecision implements Eq. 5: tau = min{τ : Precision_S(τ) >= γ},
+// with Precision_S the empirical precision among sampled records at or
+// above τ.
+func estimateUNoCIPrecision(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec) (TauResult, error) {
+	s, err := drawUniform(r, scores, o, spec.Budget)
+	if err != nil {
+		return TauResult{}, err
+	}
+	tau := minTauWithEmpiricalPrecision(s, spec.Gamma)
+	return TauResult{Tau: tau, Labeled: s.labels, OracleCalls: s.calls}, nil
+}
+
+// minTauWithEmpiricalPrecision scans candidate thresholds (distinct
+// sampled scores, ascending) and returns the smallest whose empirical
+// sample precision meets gamma, or noSelectionTau when none does.
+func minTauWithEmpiricalPrecision(s *labeledSample, gamma float64) float64 {
+	n := s.len()
+	// Suffix sums of positives for O(1) precision at each group start.
+	sufPos := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		sufPos[i] = sufPos[i+1] + s.label[i]
+	}
+	for _, g := range s.groupStarts() {
+		above := float64(n - g)
+		if above == 0 {
+			continue
+		}
+		if sufPos[g]/above >= gamma {
+			return s.score[g]
+		}
+	}
+	return noSelectionTau()
+}

@@ -1,0 +1,90 @@
+package costmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStandardCostsMatchPaperArithmetic(t *testing.T) {
+	costs := StandardCosts()
+	byName := map[string]DatasetCosts{}
+	for _, c := range costs {
+		byName[c.Name] = c
+	}
+
+	// night-street: 10k oracle calls at ~$0.00025 each ~= $2.5 and the
+	// 972k-frame exhaustive scan ~= $243 (the paper's Table 5 values).
+	night := byName["night"]
+	if got := float64(night.Budget) * night.OraclePerCall; math.Abs(got-2.5) > 0.1 {
+		t.Errorf("night oracle cost %v, want ~2.5", got)
+	}
+	if got := float64(night.Records) * night.OraclePerCall; math.Abs(got-243) > 10 {
+		t.Errorf("night exhaustive %v, want ~243", got)
+	}
+
+	// Human-labeled datasets: budget x $0.08 = $80 per query;
+	// exhaustive = records x $0.08.
+	for _, name := range []string{"ImageNet", "OntoNotes", "TACRED"} {
+		c := byName[name]
+		if c.OraclePerCall != HumanLabelCost {
+			t.Errorf("%s oracle per call %v", name, c.OraclePerCall)
+		}
+		if got := float64(c.Budget) * c.OraclePerCall; math.Abs(got-80) > 1e-9 {
+			t.Errorf("%s oracle budget cost %v, want 80", name, got)
+		}
+	}
+	if got := float64(byName["ImageNet"].Records) * HumanLabelCost; math.Abs(got-4000) > 1e-6 {
+		t.Errorf("ImageNet exhaustive %v, want 4000", got)
+	}
+	if got := float64(byName["OntoNotes"].Records) * HumanLabelCost; math.Abs(got-893.2) > 0.5 {
+		t.Errorf("OntoNotes exhaustive %v, want ~893", got)
+	}
+	if got := float64(byName["TACRED"].Records) * HumanLabelCost; math.Abs(got-1810.5) > 0.5 {
+		t.Errorf("TACRED exhaustive %v, want ~1810", got)
+	}
+}
+
+func TestComputeBreakdown(t *testing.T) {
+	c := DatasetCosts{Name: "x", OraclePerCall: 0.08, ProxyPerRecord: 1e-6, Records: 100000, Budget: 1000}
+	b := Compute(c, 2*time.Second, 1000)
+	if b.Oracle != 80 {
+		t.Errorf("oracle %v", b.Oracle)
+	}
+	if math.Abs(b.Proxy-0.1) > 1e-9 {
+		t.Errorf("proxy %v", b.Proxy)
+	}
+	wantSampling := 2 * GPUHourCost / 3600
+	if math.Abs(b.Sampling-wantSampling) > 1e-9 {
+		t.Errorf("sampling %v, want %v", b.Sampling, wantSampling)
+	}
+	if math.Abs(b.Total-(b.Sampling+b.Proxy+b.Oracle)) > 1e-12 {
+		t.Errorf("total %v", b.Total)
+	}
+	if b.Exhaustive != 8000 {
+		t.Errorf("exhaustive %v", b.Exhaustive)
+	}
+}
+
+func TestQueryProcessingNegligible(t *testing.T) {
+	// The paper's headline: SUPG query processing is orders of
+	// magnitude cheaper than the oracle stage.
+	for _, c := range StandardCosts() {
+		b := Compute(c, 500*time.Millisecond, c.Budget)
+		if b.Sampling > b.Oracle/100 {
+			t.Errorf("%s: sampling cost %v not negligible vs oracle %v", c.Name, b.Sampling, b.Oracle)
+		}
+		if b.Total >= b.Exhaustive {
+			t.Errorf("%s: SUPG total %v should beat exhaustive %v", c.Name, b.Total, b.Exhaustive)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	b := Compute(StandardCosts()[0], time.Second, 10000)
+	s := b.Format()
+	if !strings.Contains(s, "night") || !strings.Contains(s, "exhaustive") {
+		t.Errorf("format %q", s)
+	}
+}

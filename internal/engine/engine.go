@@ -1,0 +1,223 @@
+// Package engine executes SUPG query plans against registered datasets
+// and user-defined oracle / proxy functions, mirroring the operational
+// architecture of the paper's Section 4.1: a batch query system where
+// the user supplies the oracle and proxy as callbacks, the proxy is
+// evaluated over the complete dataset up front (it is cheap), and the
+// oracle is sampled under the budget.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"supg/internal/core"
+	"supg/internal/dataset"
+	"supg/internal/oracle"
+	"supg/internal/query"
+	"supg/internal/randx"
+)
+
+// OracleUDF is a user-provided ground-truth predicate over record ids.
+type OracleUDF func(record int) (bool, error)
+
+// ProxyUDF is a user-provided proxy scorer over record ids; scores must
+// be in [0, 1].
+type ProxyUDF func(record int) float64
+
+// Engine holds the catalog of tables and the UDF registry.
+type Engine struct {
+	mu      sync.RWMutex
+	tables  map[string]*dataset.Dataset
+	oracles map[string]OracleUDF
+	proxies map[string]ProxyUDF
+	seed    uint64
+}
+
+// New returns an empty engine whose query randomness derives from seed.
+func New(seed uint64) *Engine {
+	return &Engine{
+		tables:  make(map[string]*dataset.Dataset),
+		oracles: make(map[string]OracleUDF),
+		proxies: make(map[string]ProxyUDF),
+		seed:    seed,
+	}
+}
+
+// RegisterTable adds a dataset under the given table name.
+func (e *Engine) RegisterTable(name string, d *dataset.Dataset) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tables[name] = d
+}
+
+// RegisterOracle adds an oracle UDF under the given function name.
+func (e *Engine) RegisterOracle(name string, fn OracleUDF) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.oracles[name] = fn
+}
+
+// RegisterProxy adds a proxy UDF under the given function name.
+func (e *Engine) RegisterProxy(name string, fn ProxyUDF) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.proxies[name] = fn
+}
+
+// RegisterDatasetDefaults registers table name plus "<name>_oracle" and
+// "<name>_proxy" UDFs backed by the dataset's own labels and scores —
+// the common simulation path.
+func (e *Engine) RegisterDatasetDefaults(name string, d *dataset.Dataset) {
+	e.RegisterTable(name, d)
+	e.RegisterOracle(name+"_oracle", func(i int) (bool, error) {
+		if i < 0 || i >= d.Len() {
+			return false, fmt.Errorf("engine: record %d out of range", i)
+		}
+		return d.TrueLabel(i), nil
+	})
+	e.RegisterProxy(name+"_proxy", func(i int) float64 { return d.Score(i) })
+}
+
+// QueryResult is the engine-level answer with execution statistics.
+type QueryResult struct {
+	// Indices is the sorted returned record set.
+	Indices []int
+	// Tau is the chosen proxy threshold (Inf = sample positives only).
+	Tau float64
+	// OracleCalls counts budget-consuming oracle invocations.
+	OracleCalls int
+	// ProxyCalls counts proxy evaluations (|D| by design).
+	ProxyCalls int
+	// Elapsed covers planning through result assembly.
+	Elapsed time.Duration
+	// ProxyElapsed covers the upfront proxy scan.
+	ProxyElapsed time.Duration
+	// Plan echoes the executed plan.
+	Plan *query.Plan
+}
+
+// Execute parses, plans, and runs a SUPG statement.
+func (e *Engine) Execute(sql string) (*QueryResult, error) {
+	q, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := query.BuildPlan(q, query.PlanOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecutePlan(plan)
+}
+
+// ExecutePlan runs an already-built plan.
+func (e *Engine) ExecutePlan(plan *query.Plan) (*QueryResult, error) {
+	e.mu.RLock()
+	table, okT := e.tables[plan.Table]
+	oracleFn, okO := e.oracles[plan.OracleUDF]
+	proxyFn, okP := e.proxies[plan.ProxyUDF]
+	seed := e.seed
+	e.mu.RUnlock()
+
+	if !okT {
+		return nil, fmt.Errorf("engine: unknown table %q (known: %v)", plan.Table, e.tableNames())
+	}
+	if !okO {
+		return nil, fmt.Errorf("engine: unknown oracle UDF %q", plan.OracleUDF)
+	}
+	if !okP {
+		return nil, fmt.Errorf("engine: unknown proxy UDF %q", plan.ProxyUDF)
+	}
+
+	start := time.Now()
+	// Stage 1 (§4.1): run the proxy over the complete set of records.
+	scores, proxyElapsed := scoreAll(proxyFn, table.Len())
+	for i, s := range scores {
+		if s < 0 || s > 1 || s != s {
+			return nil, fmt.Errorf("engine: proxy %q returned score %g for record %d, outside [0,1]", plan.ProxyUDF, s, i)
+		}
+	}
+
+	rng := randx.New(seed).Stream(hashString(plan.SourceText))
+	orc := oracle.Func(oracleFn)
+
+	res := &QueryResult{ProxyCalls: table.Len(), ProxyElapsed: proxyElapsed, Plan: plan}
+	switch plan.Kind {
+	case query.PlanBudgeted:
+		sel, err := core.Select(rng, scores, orc, plan.Spec, plan.Config)
+		if err != nil {
+			return nil, err
+		}
+		res.Indices = sel.Indices
+		res.Tau = sel.Tau
+		res.OracleCalls = sel.OracleCalls
+	case query.PlanJoint:
+		sel, err := core.SelectJoint(rng, scores, orc, plan.JointSpec, plan.Config)
+		if err != nil {
+			return nil, err
+		}
+		res.Indices = sel.Indices
+		res.Tau = sel.Tau
+		res.OracleCalls = sel.OracleCalls
+	default:
+		return nil, fmt.Errorf("engine: unknown plan kind %d", int(plan.Kind))
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// scoreAll evaluates the proxy over all records, in parallel shards.
+func scoreAll(proxyFn ProxyUDF, n int) ([]float64, time.Duration) {
+	start := time.Now()
+	scores := make([]float64, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				scores[i] = proxyFn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return scores, time.Since(start)
+}
+
+func (e *Engine) tableNames() []string {
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// hashString is FNV-1a, used to derive per-query random streams.
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

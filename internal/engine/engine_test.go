@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"supg/internal/core"
+	"supg/internal/dataset"
+	"supg/internal/metrics"
+	"supg/internal/query"
+	"supg/internal/randx"
+)
+
+func testEngine(t *testing.T) (*Engine, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.Beta(randx.New(1), 30000, 0.01, 2)
+	e := New(42)
+	e.RegisterDatasetDefaults("video", d)
+	return e, d
+}
+
+const engineRT = `
+	SELECT * FROM video
+	WHERE video_oracle(frame) = true
+	ORACLE LIMIT 1000
+	USING video_proxy(frame)
+	RECALL TARGET 90%
+	WITH PROBABILITY 95%`
+
+func TestExecuteRecallQuery(t *testing.T) {
+	e, d := testEngine(t)
+	res, err := e.Execute(engineRT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleCalls > 1000 {
+		t.Fatalf("oracle calls %d exceed limit", res.OracleCalls)
+	}
+	if res.ProxyCalls != d.Len() {
+		t.Fatalf("proxy calls %d, want full scan %d", res.ProxyCalls, d.Len())
+	}
+	if len(res.Indices) == 0 {
+		t.Fatal("empty result")
+	}
+	eval := metrics.Evaluate(d, res.Indices)
+	if eval.Recall < 0.5 {
+		t.Fatalf("recall %v implausibly low for a 90%% target", eval.Recall)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+}
+
+func TestExecutePrecisionQuery(t *testing.T) {
+	e, d := testEngine(t)
+	res, err := e.Execute(`
+		SELECT * FROM video
+		WHERE video_oracle(frame) = true
+		ORACLE LIMIT 1000
+		USING video_proxy(frame)
+		PRECISION TARGET 90%
+		WITH PROBABILITY 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := metrics.Evaluate(d, res.Indices)
+	if eval.Precision < 0.7 {
+		t.Fatalf("precision %v too low for a 90%% target", eval.Precision)
+	}
+}
+
+func TestExecuteJointQuery(t *testing.T) {
+	e, d := testEngine(t)
+	res, err := e.Execute(`
+		SELECT * FROM video
+		WHERE video_oracle(frame) = true
+		USING video_proxy(frame)
+		RECALL TARGET 80%
+		PRECISION TARGET 90%
+		WITH PROBABILITY 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := metrics.Evaluate(d, res.Indices)
+	if eval.Precision != 1 {
+		t.Fatalf("joint query precision %v, want 1", eval.Precision)
+	}
+}
+
+func TestExecuteUnknownTable(t *testing.T) {
+	e, _ := testEngine(t)
+	_, err := e.Execute(strings.Replace(engineRT, "FROM video", "FROM nope", 1))
+	if err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExecuteUnknownUDFs(t *testing.T) {
+	e, _ := testEngine(t)
+	_, err := e.Execute(strings.Replace(engineRT, "video_oracle", "mystery", 1))
+	if err == nil || !strings.Contains(err.Error(), "unknown oracle") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = e.Execute(strings.Replace(engineRT, "video_proxy", "mystery", 1))
+	if err == nil || !strings.Contains(err.Error(), "unknown proxy") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExecuteParseErrorPropagates(t *testing.T) {
+	e, _ := testEngine(t)
+	if _, err := e.Execute("SELECT nothing"); err == nil {
+		t.Fatal("parse error should propagate")
+	}
+}
+
+func TestProxyRangeValidation(t *testing.T) {
+	d := dataset.Beta(randx.New(2), 1000, 1, 1)
+	e := New(1)
+	e.RegisterTable("t", d)
+	e.RegisterOracle("o", func(i int) (bool, error) { return d.TrueLabel(i), nil })
+	e.RegisterProxy("p", func(i int) float64 { return 1.5 }) // invalid
+	_, err := e.Execute(`SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING p(x) RECALL TARGET 90% WITH PROBABILITY 95%`)
+	if err == nil || !strings.Contains(err.Error(), "outside [0,1]") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCustomUDFRegistration(t *testing.T) {
+	d := dataset.Beta(randx.New(3), 20000, 0.01, 2)
+	e := New(5)
+	e.RegisterTable("t", d)
+	oracleCalls := 0
+	e.RegisterOracle("my_oracle", func(i int) (bool, error) {
+		oracleCalls++
+		return d.TrueLabel(i), nil
+	})
+	e.RegisterProxy("my_proxy", func(i int) float64 { return d.Score(i) })
+	res, err := e.Execute(`SELECT * FROM t WHERE my_oracle(x) ORACLE LIMIT 500 USING my_proxy(x) RECALL TARGET 80% WITH PROBABILITY 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracleCalls == 0 || oracleCalls > 500 {
+		t.Fatalf("custom oracle called %d times", oracleCalls)
+	}
+	if res.Plan == nil || res.Plan.Spec.Kind != core.RecallTarget {
+		t.Error("plan not echoed")
+	}
+}
+
+func TestExecutePlanDeterministicForSameQuery(t *testing.T) {
+	e, _ := testEngine(t)
+	a, err := e.Execute(engineRT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Execute(engineRT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tau != b.Tau || len(a.Indices) != len(b.Indices) {
+		t.Fatal("identical query on same engine seed should reproduce")
+	}
+}
+
+func TestExecutePlanDirect(t *testing.T) {
+	e, _ := testEngine(t)
+	q, err := query.Parse(engineRT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultUCI()
+	plan, err := query.BuildPlan(q, query.PlanOptions{Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ExecutePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Config.Method != core.MethodUCI {
+		t.Error("plan config not honored")
+	}
+}

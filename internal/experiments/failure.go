@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"supg/internal/core"
+	"supg/internal/metrics"
+	"supg/internal/randx"
+)
+
+// This file implements Figures 1, 5, and 6: the distribution of achieved
+// precision/recall over repeated trials for the no-guarantee baseline
+// (U-NoCI, as used by NoScope and probabilistic predicates) versus SUPG.
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Achieved precision of naive sampling vs SUPG on ImageNet (box plot, target 90%)",
+		Description: "100-run box plots for a precision-target query at 90%. The naive\n" +
+			"algorithm returns precisions far below target for most runs; SUPG\n" +
+			"respects the target with high probability.",
+		Run: runFig1,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Precision of U-NoCI vs SUPG across all datasets (precision target 90%)",
+		Description: "Box plots of achieved precision over repeated trials with a 90%\n" +
+			"precision target and delta=0.05 on all six datasets.",
+		Run: func(o Options) (*Report, error) {
+			return runFailureDistribution(o, "fig5", core.PrecisionTarget, metrics.MetricPrecision)
+		},
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Recall of U-NoCI vs SUPG across all datasets (recall target 90%)",
+		Description: "Box plots of achieved recall over repeated trials with a 90% recall\n" +
+			"target and delta=0.05 on all six datasets.",
+		Run: func(o Options) (*Report, error) {
+			return runFailureDistribution(o, "fig6", core.RecallTarget, metrics.MetricRecall)
+		},
+	})
+}
+
+func runFig1(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := randx.New(o.Seed)
+	d := imageNetAt(o, r.Stream(1))
+	budget := o.scaledBudget(1000)
+	spec := core.Spec{Kind: core.PrecisionTarget, Gamma: 0.9, Delta: 0.05, Budget: budget}
+
+	rep := &Report{
+		ID:    "fig1",
+		Title: "Figure 1: achieved precision, naive vs SUPG (ImageNet, target 90%)",
+		Table: metrics.Table{Header: []string{"method", "fail rate", "box (achieved precision)"}},
+	}
+	for _, m := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"Naive (U-NoCI)", core.DefaultUNoCI()},
+		{"SUPG", core.DefaultSUPG()},
+	} {
+		ts, err := runTrials(r.Stream(99), d, spec, m.cfg, o.Trials, o.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		rep.Table.AddRow(m.name,
+			pct(ts.FailureRate(metrics.MetricPrecision, spec.Gamma)),
+			metrics.FormatBox(ts.Box(metrics.MetricPrecision)))
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("dataset n=%d, positives=%d, budget=%d, trials=%d", d.Len(), d.PositiveCount(), budget, o.Trials))
+	return rep, nil
+}
+
+func runFailureDistribution(o Options, id string, kind core.TargetKind, metric metrics.TargetMetric) (*Report, error) {
+	o = o.withDefaults()
+	r := randx.New(o.Seed)
+	rep := &Report{
+		ID:    id,
+		Title: fmt.Sprintf("%s-target 90%% across datasets: U-NoCI vs SUPG", metric),
+		Table: metrics.Table{Header: []string{
+			"dataset", "method", "fail rate", "box (achieved " + metric.String() + ")",
+		}},
+	}
+	for di, ed := range evalDatasets(o, r.Stream(7)) {
+		spec := core.Spec{Kind: kind, Gamma: 0.9, Delta: 0.05, Budget: ed.budget}
+		for mi, m := range []struct {
+			name string
+			cfg  core.Config
+		}{
+			{"U-NoCI", core.DefaultUNoCI()},
+			{"SUPG", core.DefaultSUPG()},
+		} {
+			ts, err := runTrials(r.Stream(uint64(100+10*di+mi)), ed.d, spec, m.cfg, o.Trials, o.Parallelism)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", m.name, ed.d.Name(), err)
+			}
+			rep.Table.AddRow(ed.d.Name(), m.name,
+				pct(ts.FailureRate(metric, spec.Gamma)),
+				metrics.FormatBox(ts.Box(metric)))
+		}
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("delta=0.05, trials=%d, scale=%g", o.Trials, o.Scale))
+	return rep, nil
+}

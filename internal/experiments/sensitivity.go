@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+
+	"supg/internal/core"
+	"supg/internal/dataset"
+	"supg/internal/metrics"
+	"supg/internal/randx"
+)
+
+// This file implements the Section 6.4 sensitivity analyses:
+// Figure 9  — proxy noise,
+// Figure 10 — class imbalance,
+// Figure 11 — parameter settings (m and defensive mixing),
+// Figure 12 — importance weight exponent,
+// Figure 13 — confidence-interval method.
+
+func init() {
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Proxy noise vs result quality (Beta(0.01,2))",
+		Description: "Gaussian noise at {25, 50, 75, 100}% of the proxy-score standard\n" +
+			"deviation; precision target 95% and recall target 90%. Reproduces Figure 9.",
+		Run: runFig9,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Class imbalance vs result quality (Beta(0.01, beta) sweep)",
+		Description: "beta in {0.125, 0.25, 0.5, 1.0, 2.0} varies the true positive rate;\n" +
+			"SUPG's advantage grows with imbalance. Reproduces Figure 10.",
+		Run: runFig10,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Parameter sensitivity: candidate stride m and defensive mixing ratio",
+		Description: "m in {100..500} for the precision target; mixing in {0.1..0.5} for the\n" +
+			"recall target. Flat curves mean the parameters are easy to set.\n" +
+			"Reproduces Figure 11.",
+		Run: runFig11,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Importance-weight exponent vs precision (recall target, Beta(0.01,2))",
+		Description: "Exponent 0 is uniform sampling, 1 is proportional; the paper proves\n" +
+			"0.5 optimal for calibrated proxies. Reproduces Figure 12.",
+		Run: runFig12,
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Confidence-interval method comparison (recall target, Beta(0.01,1))",
+		Description: "Normal approximation vs Clopper-Pearson vs bootstrap vs Hoeffding for\n" +
+			"U-CI-R and IS-CI-R. Hoeffding ignores variance and is vacuous.\n" +
+			"Reproduces Figure 13.",
+		Run: runFig13,
+	})
+}
+
+func runFig9(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := randx.New(o.Seed)
+	base := betaAt(o, r.Stream(5), 0.01, 2)
+	sd := base.ScoreStdDev()
+	budget := o.scaledBudget(10_000)
+	trials := sweepTrials(o)
+
+	rep := &Report{
+		ID:    "fig9",
+		Title: "Figure 9: noise level vs recall/precision",
+		Table: metrics.Table{Header: []string{"noise (% of sd)", "setting", "method", "quality"}},
+	}
+	for ni, frac := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		noisy := base
+		if frac > 0 {
+			noisy = dataset.AddProxyNoise(r.Stream(uint64(3000+ni)), base, frac*sd)
+		}
+		for _, setting := range []struct {
+			kind   core.TargetKind
+			gamma  float64
+			metric metrics.TargetMetric
+			other  metrics.TargetMetric
+		}{
+			{core.PrecisionTarget, 0.95, metrics.MetricPrecision, metrics.MetricRecall},
+			{core.RecallTarget, 0.90, metrics.MetricRecall, metrics.MetricPrecision},
+		} {
+			spec := core.Spec{Kind: setting.kind, Gamma: setting.gamma, Delta: 0.05, Budget: budget}
+			for mi, m := range []struct {
+				name string
+				cfg  core.Config
+			}{
+				{"U-CI", core.DefaultUCI()},
+				{"SUPG", core.DefaultSUPG()},
+			} {
+				ts, err := runTrials(r.Stream(uint64(3100+100*ni+10*int(setting.kind)+mi)), noisy, spec, m.cfg, trials, o.Parallelism)
+				if err != nil {
+					return nil, err
+				}
+				rep.Table.AddRow(fmt.Sprintf("%.0f%%", 100*frac),
+					setting.kind.String()+" target", m.name,
+					pct(ts.MeanMetric(setting.other)))
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("score sd=%.4f; quality = precision for RT, recall for PT; trials per point=%d", sd, trials))
+	return rep, nil
+}
+
+func runFig10(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := randx.New(o.Seed)
+	budget := o.scaledBudget(10_000)
+	trials := sweepTrials(o)
+	n := o.scaled(betaN)
+
+	rep := &Report{
+		ID:    "fig10",
+		Title: "Figure 10: true positive rate vs recall/precision",
+		Table: metrics.Table{Header: []string{"beta", "TPR", "setting", "U-CI quality", "SUPG quality", "SUPG/U-CI"}},
+	}
+	for bi, beta := range []float64{0.125, 0.25, 0.5, 1.0, 2.0} {
+		d := dataset.Beta(r.Stream(uint64(3200+bi)), n, 0.01, beta)
+		for _, setting := range []struct {
+			kind  core.TargetKind
+			gamma float64
+			other metrics.TargetMetric
+		}{
+			{core.PrecisionTarget, 0.95, metrics.MetricRecall},
+			{core.RecallTarget, 0.90, metrics.MetricPrecision},
+		} {
+			spec := core.Spec{Kind: setting.kind, Gamma: setting.gamma, Delta: 0.05, Budget: budget}
+			quality := make([]float64, 2)
+			for mi, cfg := range []core.Config{core.DefaultUCI(), core.DefaultSUPG()} {
+				ts, err := runTrials(r.Stream(uint64(3300+100*bi+10*int(setting.kind)+mi)), d, spec, cfg, trials, o.Parallelism)
+				if err != nil {
+					return nil, err
+				}
+				quality[mi] = ts.MeanMetric(setting.other)
+			}
+			ratio := "inf"
+			if quality[0] > 0 {
+				ratio = fmt.Sprintf("%.1fx", quality[1]/quality[0])
+			}
+			rep.Table.AddRow(fmt.Sprintf("%g", beta), pct(d.PositiveRate()),
+				setting.kind.String()+" target", pct(quality[0]), pct(quality[1]), ratio)
+		}
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("n=%d, trials per point=%d", n, trials))
+	return rep, nil
+}
+
+func runFig11(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := randx.New(o.Seed)
+	d := betaAt(o, r.Stream(5), 0.01, 2)
+	budget := o.scaledBudget(10_000)
+	trials := sweepTrials(o)
+
+	rep := &Report{
+		ID:    "fig11",
+		Title: "Figure 11: parameter settings vs performance (Beta(0.01,2))",
+		Table: metrics.Table{Header: []string{"parameter", "value", "setting", "SUPG quality"}},
+	}
+	// (a) candidate stride m, precision target.
+	for mi, m := range []int{100, 200, 300, 400, 500} {
+		cfg := core.DefaultSUPG()
+		cfg.MinStep = m
+		spec := core.Spec{Kind: core.PrecisionTarget, Gamma: 0.95, Delta: 0.05, Budget: budget}
+		ts, err := runTrials(r.Stream(uint64(3400+mi)), d, spec, cfg, trials, o.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		rep.Table.AddRow("m", fmt.Sprintf("%d", m), "precision target", pct(ts.MeanMetric(metrics.MetricRecall)))
+	}
+	// (b) defensive mixing ratio, recall target.
+	for xi, mix := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		cfg := core.DefaultSUPG()
+		cfg.Mix = mix
+		spec := core.Spec{Kind: core.RecallTarget, Gamma: 0.90, Delta: 0.05, Budget: budget}
+		ts, err := runTrials(r.Stream(uint64(3500+xi)), d, spec, cfg, trials, o.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		rep.Table.AddRow("mixing", fmt.Sprintf("%.1f", mix), "recall target", pct(ts.MeanMetric(metrics.MetricPrecision)))
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("trials per point=%d", trials))
+	return rep, nil
+}
+
+func runFig12(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := randx.New(o.Seed)
+	d := betaAt(o, r.Stream(5), 0.01, 2)
+	budget := o.scaledBudget(10_000)
+	trials := sweepTrials(o)
+
+	rep := &Report{
+		ID:    "fig12",
+		Title: "Figure 12: importance-weight exponent vs precision (recall target 90%)",
+		Table: metrics.Table{Header: []string{"exponent", "achieved precision", "achieved recall", "fail rate"}},
+	}
+	spec := core.Spec{Kind: core.RecallTarget, Gamma: 0.90, Delta: 0.05, Budget: budget}
+	for ei, exp := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		cfg := core.DefaultSUPG()
+		cfg.WeightExponent = exp
+		ts, err := runTrials(r.Stream(uint64(3600+ei)), d, spec, cfg, trials, o.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		rep.Table.AddRow(fmt.Sprintf("%.1f", exp),
+			pct(ts.MeanMetric(metrics.MetricPrecision)),
+			pct(ts.MeanMetric(metrics.MetricRecall)),
+			pct(ts.FailureRate(metrics.MetricRecall, spec.Gamma)))
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("trials per point=%d", trials))
+	return rep, nil
+}
+
+func runFig13(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := randx.New(o.Seed)
+	d := betaAt(o, r.Stream(5), 0.01, 1)
+	budget := o.scaledBudget(10_000)
+	trials := sweepTrials(o)
+
+	rep := &Report{
+		ID:    "fig13",
+		Title: "Figure 13: CI method vs precision (recall target 90%, Beta(0.01,1))",
+		Table: metrics.Table{Header: []string{"sampling", "CI method", "achieved precision", "fail rate"}},
+	}
+	spec := core.Spec{Kind: core.RecallTarget, Gamma: 0.90, Delta: 0.05, Budget: budget}
+
+	type variant struct {
+		sampling string
+		cfg      core.Config
+	}
+	var variants []variant
+	for _, bk := range []core.BoundKind{core.BoundNormal, core.BoundClopperPearson, core.BoundBootstrap, core.BoundHoeffding} {
+		cfg := core.DefaultUCI()
+		cfg.Bound = bk
+		variants = append(variants, variant{"uniform", cfg})
+	}
+	for _, bk := range []core.BoundKind{core.BoundNormal, core.BoundBootstrap, core.BoundHoeffding} {
+		// Clopper-Pearson applies only to uniform binary samples, per the paper.
+		cfg := core.DefaultSUPG()
+		cfg.Bound = bk
+		variants = append(variants, variant{"SUPG", cfg})
+	}
+	for vi, v := range variants {
+		ts, err := runTrials(r.Stream(uint64(3700+vi)), d, spec, v.cfg, trials, o.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		rep.Table.AddRow(v.sampling, v.cfg.Bound.String(),
+			pct(ts.MeanMetric(metrics.MetricPrecision)),
+			pct(ts.FailureRate(metrics.MetricRecall, spec.Gamma)))
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("trials per point=%d", trials))
+	return rep, nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"supg/internal/core"
+	"supg/internal/metrics"
+	"supg/internal/randx"
+)
+
+// This file implements the target sweeps of Figures 7 and 8.
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Precision target vs achieved recall: U-CI vs one-stage vs two-stage importance",
+		Description: "For each dataset and precision target in {0.75, 0.8, 0.9, 0.95, 0.99},\n" +
+			"the mean achieved recall of the returned set. Reproduces Figure 7.",
+		Run: runFig7,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Recall target vs achieved precision: U-CI vs proportional vs sqrt importance",
+		Description: "For each dataset and recall target in {0.5 ... 0.95}, the mean achieved\n" +
+			"precision of the returned set. Reproduces Figure 8.",
+		Run: runFig8,
+	})
+}
+
+// sweepTrials bounds per-point trials for the sweep figures (the paper
+// plots means, so fewer trials than the failure-rate experiments are
+// needed per point).
+func sweepTrials(o Options) int {
+	t := o.Trials / 2
+	if t < 5 {
+		t = 5
+	}
+	if t > 50 {
+		t = 50
+	}
+	return t
+}
+
+func runFig7(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := randx.New(o.Seed)
+	targets := []float64{0.75, 0.8, 0.9, 0.95, 0.99}
+	oneStage := core.DefaultSUPG()
+	oneStage.TwoStage = false
+	methods := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"U-CI", core.DefaultUCI()},
+		{"Importance(one-stage)", oneStage},
+		{"SUPG(two-stage)", core.DefaultSUPG()},
+	}
+	rep := &Report{
+		ID:    "fig7",
+		Title: "Figure 7: precision target vs achieved recall (mean over trials)",
+		Table: metrics.Table{Header: []string{"dataset", "method", "target", "achieved recall", "achieved precision", "fail rate"}},
+	}
+	trials := sweepTrials(o)
+	for di, ed := range evalDatasets(o, r.Stream(7)) {
+		for mi, m := range methods {
+			for ti, gamma := range targets {
+				spec := core.Spec{Kind: core.PrecisionTarget, Gamma: gamma, Delta: 0.05, Budget: ed.budget}
+				ts, err := runTrials(r.Stream(uint64(1000+100*di+10*mi+ti)), ed.d, spec, m.cfg, trials, o.Parallelism)
+				if err != nil {
+					return nil, fmt.Errorf("fig7 %s/%s: %w", ed.d.Name(), m.name, err)
+				}
+				rep.Table.AddRow(ed.d.Name(), m.name, pct(gamma),
+					pct(ts.MeanMetric(metrics.MetricRecall)),
+					pct(ts.MeanMetric(metrics.MetricPrecision)),
+					pct(ts.FailureRate(metrics.MetricPrecision, gamma)))
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("trials per point=%d, delta=0.05", trials))
+	return rep, nil
+}
+
+func runFig8(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := randx.New(o.Seed)
+	targets := []float64{0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.95}
+	prop := core.DefaultSUPG()
+	prop.WeightExponent = 1.0
+	methods := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"U-CI", core.DefaultUCI()},
+		{"Importance(prop)", prop},
+		{"SUPG(sqrt)", core.DefaultSUPG()},
+	}
+	rep := &Report{
+		ID:    "fig8",
+		Title: "Figure 8: recall target vs achieved precision (mean over trials)",
+		Table: metrics.Table{Header: []string{"dataset", "method", "target", "achieved precision", "achieved recall", "fail rate"}},
+	}
+	trials := sweepTrials(o)
+	for di, ed := range evalDatasets(o, r.Stream(7)) {
+		for mi, m := range methods {
+			for ti, gamma := range targets {
+				spec := core.Spec{Kind: core.RecallTarget, Gamma: gamma, Delta: 0.05, Budget: ed.budget}
+				ts, err := runTrials(r.Stream(uint64(2000+100*di+10*mi+ti)), ed.d, spec, m.cfg, trials, o.Parallelism)
+				if err != nil {
+					return nil, fmt.Errorf("fig8 %s/%s: %w", ed.d.Name(), m.name, err)
+				}
+				rep.Table.AddRow(ed.d.Name(), m.name, pct(gamma),
+					pct(ts.MeanMetric(metrics.MetricPrecision)),
+					pct(ts.MeanMetric(metrics.MetricRecall)),
+					pct(ts.FailureRate(metrics.MetricRecall, gamma)))
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("trials per point=%d, delta=0.05", trials))
+	return rep, nil
+}

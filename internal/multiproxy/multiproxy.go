@@ -1,0 +1,322 @@
+// Package multiproxy extends SUPG to queries with several proxy models,
+// the future-work direction of the paper's Section 8 ("many scenarios
+// naturally have multiple proxy models ... these algorithms can improve
+// statistical rates relative to single proxy models").
+//
+// The extension fuses K proxy-score columns into a single column and
+// then runs the standard single-proxy SUPG machinery on the fusion, so
+// all accuracy guarantees carry over unchanged (they never depended on
+// proxy quality — only result quality does). Three fusion strategies
+// are provided:
+//
+//   - FuseMean / FuseMax: label-free combinations.
+//   - FuseLogistic: a logistic-regression stacker calibrated on a small
+//     oracle-labeled sample. The calibration labels are drawn through
+//     the same budgeted oracle as the query, so the total oracle budget
+//     is respected end to end.
+package multiproxy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"supg/internal/core"
+	"supg/internal/oracle"
+	"supg/internal/randx"
+	"supg/internal/sampling"
+)
+
+// Fusion names a proxy-combination strategy.
+type Fusion int
+
+const (
+	// FuseMean averages the proxy scores.
+	FuseMean Fusion = iota
+	// FuseMax takes the per-record maximum score.
+	FuseMax
+	// FuseLogistic fits a logistic stacker on an oracle-labeled
+	// calibration sample.
+	FuseLogistic
+)
+
+// String implements fmt.Stringer.
+func (f Fusion) String() string {
+	switch f {
+	case FuseMean:
+		return "mean"
+	case FuseMax:
+		return "max"
+	case FuseLogistic:
+		return "logistic"
+	}
+	return fmt.Sprintf("Fusion(%d)", int(f))
+}
+
+// validateColumns checks the score matrix shape.
+func validateColumns(columns [][]float64) (n int, err error) {
+	if len(columns) == 0 {
+		return 0, fmt.Errorf("multiproxy: no proxy columns")
+	}
+	n = len(columns[0])
+	if n == 0 {
+		return 0, fmt.Errorf("multiproxy: empty proxy columns")
+	}
+	for i, c := range columns {
+		if len(c) != n {
+			return 0, fmt.Errorf("multiproxy: column %d has %d records, column 0 has %d", i, len(c), n)
+		}
+	}
+	return n, nil
+}
+
+// Mean fuses columns by averaging.
+func Mean(columns [][]float64) ([]float64, error) {
+	n, err := validateColumns(columns)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	inv := 1.0 / float64(len(columns))
+	for _, c := range columns {
+		for i, v := range c {
+			out[i] += v * inv
+		}
+	}
+	return out, nil
+}
+
+// Max fuses columns by the per-record maximum.
+func Max(columns [][]float64) ([]float64, error) {
+	n, err := validateColumns(columns)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	copy(out, columns[0])
+	for _, c := range columns[1:] {
+		for i, v := range c {
+			if v > out[i] {
+				out[i] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// LogisticModel is a fitted stacker over K proxy scores.
+type LogisticModel struct {
+	// Weights has one weight per proxy column.
+	Weights []float64
+	// Bias is the intercept.
+	Bias float64
+}
+
+// Score returns the fused probability for one record's proxy scores.
+func (m *LogisticModel) Score(features []float64) float64 {
+	z := m.Bias
+	for i, w := range m.Weights {
+		z += w * features[i]
+	}
+	return sigmoid(z)
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// FitLogistic trains a logistic stacker by full-batch gradient descent
+// with L2 regularization. features is row-major: one row of K proxy
+// scores per labeled record.
+func FitLogistic(features [][]float64, labels []bool, epochs int, lr, l2 float64) (*LogisticModel, error) {
+	if len(features) == 0 {
+		return nil, fmt.Errorf("multiproxy: no calibration examples")
+	}
+	if len(features) != len(labels) {
+		return nil, fmt.Errorf("multiproxy: %d feature rows but %d labels", len(features), len(labels))
+	}
+	k := len(features[0])
+	for i, row := range features {
+		if len(row) != k {
+			return nil, fmt.Errorf("multiproxy: row %d has %d features, want %d", i, len(row), k)
+		}
+	}
+	if epochs <= 0 {
+		epochs = 500
+	}
+	if lr <= 0 {
+		lr = 0.5
+	}
+
+	m := &LogisticModel{Weights: make([]float64, k)}
+	n := float64(len(features))
+	gradW := make([]float64, k)
+	for e := 0; e < epochs; e++ {
+		for j := range gradW {
+			gradW[j] = 0
+		}
+		gradB := 0.0
+		for i, row := range features {
+			p := m.Score(row)
+			y := 0.0
+			if labels[i] {
+				y = 1
+			}
+			diff := p - y
+			for j, v := range row {
+				gradW[j] += diff * v
+			}
+			gradB += diff
+		}
+		for j := range m.Weights {
+			m.Weights[j] -= lr * (gradW[j]/n + l2*m.Weights[j])
+		}
+		m.Bias -= lr * gradB / n
+	}
+	return m, nil
+}
+
+// Calibrate draws calibBudget uniform records, labels them with the
+// budgeted oracle, and fits a logistic stacker over the proxy columns.
+func Calibrate(r *randx.Rand, columns [][]float64, o *oracle.Budgeted, calibBudget int) (*LogisticModel, error) {
+	n, err := validateColumns(columns)
+	if err != nil {
+		return nil, err
+	}
+	if calibBudget < 10 {
+		return nil, fmt.Errorf("multiproxy: calibration budget %d too small (need >= 10)", calibBudget)
+	}
+	idx := sampling.UniformWithoutReplacement(r, n, calibBudget)
+	features := make([][]float64, 0, len(idx))
+	labels := make([]bool, 0, len(idx))
+	for _, i := range idx {
+		row := make([]float64, len(columns))
+		for j, c := range columns {
+			row[j] = c[i]
+		}
+		lab, err := o.Label(i)
+		if err != nil {
+			return nil, fmt.Errorf("multiproxy: calibration labeling: %w", err)
+		}
+		features = append(features, row)
+		labels = append(labels, lab)
+	}
+	return FitLogistic(features, labels, 0, 0, 1e-4)
+}
+
+// Apply scores every record with the fitted stacker.
+func (m *LogisticModel) Apply(columns [][]float64) ([]float64, error) {
+	n, err := validateColumns(columns)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Weights) != len(columns) {
+		return nil, fmt.Errorf("multiproxy: model has %d weights for %d columns", len(m.Weights), len(columns))
+	}
+	out := make([]float64, n)
+	row := make([]float64, len(columns))
+	for i := 0; i < n; i++ {
+		for j, c := range columns {
+			row[j] = c[i]
+		}
+		out[i] = m.Score(row)
+	}
+	return out, nil
+}
+
+// Result is a multi-proxy SUPG answer, extending core.Result with the
+// fusion bookkeeping.
+type Result struct {
+	core.Result
+	// Fusion is the strategy that produced the fused proxy.
+	Fusion Fusion
+	// CalibrationCalls counts oracle labels spent on fusion (included
+	// in Result.OracleCalls).
+	CalibrationCalls int
+}
+
+// Select answers a SUPG query over multiple proxy columns: fuse, then
+// run the configured single-proxy estimator on the fused scores. For
+// FuseLogistic, 20% of the oracle budget (at least 30 calls, at most
+// half) is reserved for stacker calibration and the remainder drives
+// threshold estimation; the spec's total budget is never exceeded.
+func Select(r *randx.Rand, columns [][]float64, orc oracle.Oracle, spec core.Spec, cfg core.Config, fusion Fusion) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := validateColumns(columns); err != nil {
+		return nil, err
+	}
+
+	budgeted := oracle.NewBudgeted(orc, spec.Budget)
+	var fused []float64
+	var err error
+	calibCalls := 0
+	switch fusion {
+	case FuseMean:
+		fused, err = Mean(columns)
+	case FuseMax:
+		fused, err = Max(columns)
+	case FuseLogistic:
+		calib := spec.Budget / 5
+		if calib < 30 {
+			calib = 30
+		}
+		if calib > spec.Budget/2 {
+			calib = spec.Budget / 2
+		}
+		before := budgeted.Used()
+		model, cerr := Calibrate(r.Stream(1), columns, budgeted, calib)
+		if cerr != nil {
+			return nil, cerr
+		}
+		calibCalls = budgeted.Used() - before
+		fused, err = model.Apply(columns)
+	default:
+		return nil, fmt.Errorf("multiproxy: unknown fusion %v", fusion)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	remaining := spec.Budget - calibCalls
+	subSpec := spec
+	subSpec.Budget = remaining
+	tr, err := core.EstimateTau(r.Stream(2), fused, budgeted, subSpec, cfg)
+	if err != nil && err != core.ErrNoPositives {
+		return nil, err
+	}
+	if err == core.ErrNoPositives && spec.Kind == core.PrecisionTarget {
+		tr.Tau = math.Inf(1)
+	}
+
+	sel := assembleResult(fused, tr, budgeted)
+	return &Result{Result: sel, Fusion: fusion, CalibrationCalls: calibCalls}, nil
+}
+
+// assembleResult mirrors core's R1 ∪ R2 assembly using the budgeted
+// oracle's full label cache (so calibration positives are returned too).
+func assembleResult(scores []float64, tr core.TauResult, budgeted *oracle.Budgeted) core.Result {
+	include := map[int]struct{}{}
+	for _, i := range budgeted.LabeledPositives() {
+		include[i] = struct{}{}
+	}
+	if !math.IsInf(tr.Tau, 1) {
+		for i, s := range scores {
+			if s >= tr.Tau {
+				include[i] = struct{}{}
+			}
+		}
+	}
+	out := make([]int, 0, len(include))
+	for i := range include {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return core.Result{Indices: out, Tau: tr.Tau, OracleCalls: budgeted.Used()}
+}

@@ -1,0 +1,264 @@
+package multiproxy
+
+import (
+	"math"
+	"testing"
+
+	"supg/internal/core"
+	"supg/internal/dataset"
+	"supg/internal/metrics"
+	"supg/internal/oracle"
+	"supg/internal/randx"
+)
+
+// twoProxyDataset builds a dataset with two complementary noisy proxies:
+// each individually is a degraded view of the calibrated score, but
+// their noise is independent so fusion recovers signal.
+func twoProxyDataset(seed uint64, n int) (d *dataset.Dataset, columns [][]float64) {
+	r := randx.New(seed)
+	base := dataset.Beta(r, n, 0.05, 1)
+	noisy := func(stream uint64, sigma float64) []float64 {
+		rs := r.Stream(stream)
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := base.Score(i) + sigma*rs.NormFloat64()
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			out[i] = v
+		}
+		return out
+	}
+	return base, [][]float64{noisy(1, 0.15), noisy(2, 0.15)}
+}
+
+func TestValidateColumns(t *testing.T) {
+	if _, err := Mean(nil); err == nil {
+		t.Error("no columns should error")
+	}
+	if _, err := Mean([][]float64{{}}); err == nil {
+		t.Error("empty columns should error")
+	}
+	if _, err := Mean([][]float64{{0.1, 0.2}, {0.1}}); err == nil {
+		t.Error("ragged columns should error")
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	cols := [][]float64{{0.2, 0.8}, {0.4, 0.2}}
+	mean, err := Mean(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean[0]-0.3) > 1e-12 || math.Abs(mean[1]-0.5) > 1e-12 {
+		t.Errorf("mean %v", mean)
+	}
+	max, err := Max(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max[0] != 0.4 || max[1] != 0.8 {
+		t.Errorf("max %v", max)
+	}
+}
+
+func TestFitLogisticSeparable(t *testing.T) {
+	// One informative feature: label = feature > 0.5.
+	var features [][]float64
+	var labels []bool
+	for i := 0; i < 200; i++ {
+		v := float64(i) / 200
+		features = append(features, []float64{v})
+		labels = append(labels, v > 0.5)
+	}
+	m, err := FitLogistic(features, labels, 2000, 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Score([]float64{0.9}) < 0.8 {
+		t.Errorf("high feature scored %v", m.Score([]float64{0.9}))
+	}
+	if m.Score([]float64{0.1}) > 0.2 {
+		t.Errorf("low feature scored %v", m.Score([]float64{0.1}))
+	}
+}
+
+func TestFitLogisticIgnoresUselessFeature(t *testing.T) {
+	r := randx.New(5)
+	var features [][]float64
+	var labels []bool
+	for i := 0; i < 400; i++ {
+		signal := r.Float64()
+		junk := r.Float64()
+		features = append(features, []float64{signal, junk})
+		labels = append(labels, r.Bernoulli(signal))
+	}
+	m, err := FitLogistic(features, labels, 1500, 1.0, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]) <= math.Abs(m.Weights[1]) {
+		t.Errorf("signal weight %v should dominate junk weight %v", m.Weights[0], m.Weights[1])
+	}
+}
+
+func TestFitLogisticValidation(t *testing.T) {
+	if _, err := FitLogistic(nil, nil, 10, 0.1, 0); err == nil {
+		t.Error("no examples should error")
+	}
+	if _, err := FitLogistic([][]float64{{1}}, []bool{true, false}, 10, 0.1, 0); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FitLogistic([][]float64{{1}, {1, 2}}, []bool{true, false}, 10, 0.1, 0); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestSigmoidStable(t *testing.T) {
+	if s := sigmoid(1000); s != 1 {
+		t.Errorf("sigmoid(1000) = %v", s)
+	}
+	if s := sigmoid(-1000); s != 0 {
+		t.Errorf("sigmoid(-1000) = %v", s)
+	}
+	if math.Abs(sigmoid(0)-0.5) > 1e-12 {
+		t.Error("sigmoid(0)")
+	}
+}
+
+func TestCalibrateRespectsBudget(t *testing.T) {
+	d, cols := twoProxyDataset(1, 20000)
+	budgeted := oracle.NewBudgeted(oracle.NewSimulated(d), 100)
+	if _, err := Calibrate(randx.New(2), cols, budgeted, 100); err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.Used() > 100 {
+		t.Fatalf("calibration used %d labels", budgeted.Used())
+	}
+	if _, err := Calibrate(randx.New(2), cols, budgeted, 5); err == nil {
+		t.Error("tiny calibration budget should error")
+	}
+}
+
+func TestApplyShapeChecks(t *testing.T) {
+	m := &LogisticModel{Weights: []float64{1, 2}}
+	if _, err := m.Apply([][]float64{{0.5}}); err == nil {
+		t.Error("column-count mismatch should error")
+	}
+	out, err := m.Apply([][]float64{{0.5}, {0.25}})
+	if err != nil || len(out) != 1 {
+		t.Fatalf("apply: %v %v", out, err)
+	}
+	if out[0] <= 0 || out[0] >= 1 {
+		t.Errorf("fused score %v outside (0,1)", out[0])
+	}
+}
+
+func TestSelectMultiGuaranteeHolds(t *testing.T) {
+	d, cols := twoProxyDataset(3, 40000)
+	spec := core.Spec{Kind: core.RecallTarget, Gamma: 0.85, Delta: 0.05, Budget: 2000}
+	r := randx.New(4)
+	fails := 0
+	trials := 30
+	for trial := 0; trial < trials; trial++ {
+		res, err := Select(r.Stream(uint64(trial)), cols, oracle.NewSimulated(d), spec, core.DefaultSUPG(), FuseLogistic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OracleCalls > spec.Budget {
+			t.Fatalf("total oracle calls %d exceed budget", res.OracleCalls)
+		}
+		if metrics.Evaluate(d, res.Indices).Recall < spec.Gamma {
+			fails++
+		}
+	}
+	if rate := float64(fails) / float64(trials); rate > 0.17 {
+		t.Fatalf("multi-proxy failure rate %v", rate)
+	}
+}
+
+func TestLogisticFusionBeatsSingleNoisyProxy(t *testing.T) {
+	// Very noisy individual proxies (sigma 0.3) whose errors are
+	// independent: the fused score recovers signal neither column has.
+	r0 := randx.New(5)
+	base := dataset.Beta(r0, 60000, 0.1, 1)
+	noisy := func(stream uint64) []float64 {
+		rs := r0.Stream(stream)
+		out := make([]float64, base.Len())
+		for i := range out {
+			v := base.Score(i) + 0.3*rs.NormFloat64()
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			out[i] = v
+		}
+		return out
+	}
+	d := base
+	cols := [][]float64{noisy(1), noisy(2), noisy(3)}
+	spec := core.Spec{Kind: core.PrecisionTarget, Gamma: 0.8, Delta: 0.05, Budget: 2000}
+	r := randx.New(6)
+
+	quality := func(scores [][]float64, fusion Fusion) float64 {
+		sum := 0.0
+		trials := 10
+		for trial := 0; trial < trials; trial++ {
+			res, err := Select(r.Stream(uint64(1000+trial+int(fusion)*100)), scores, oracle.NewSimulated(d), spec, core.DefaultSUPG(), fusion)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += metrics.Evaluate(d, res.Indices).Recall
+		}
+		return sum / float64(trials)
+	}
+
+	single := quality(cols[:1], FuseMean) // single noisy proxy
+	fusedLog := quality(cols, FuseLogistic)
+	if fusedLog < single*0.9 {
+		t.Fatalf("logistic fusion recall %v should not fall below single-proxy %v", fusedLog, single)
+	}
+}
+
+func TestSelectMultiMeanAndMax(t *testing.T) {
+	d, cols := twoProxyDataset(7, 20000)
+	spec := core.Spec{Kind: core.RecallTarget, Gamma: 0.8, Delta: 0.05, Budget: 1500}
+	for _, f := range []Fusion{FuseMean, FuseMax} {
+		res, err := Select(randx.New(8), cols, oracle.NewSimulated(d), spec, core.DefaultSUPG(), f)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if res.CalibrationCalls != 0 {
+			t.Errorf("%v: label-free fusion spent %d calibration calls", f, res.CalibrationCalls)
+		}
+		if res.Fusion != f {
+			t.Errorf("fusion echo %v", res.Fusion)
+		}
+	}
+}
+
+func TestSelectMultiValidation(t *testing.T) {
+	d, cols := twoProxyDataset(9, 5000)
+	bad := core.Spec{Kind: core.RecallTarget, Gamma: 0, Delta: 0.05, Budget: 100}
+	if _, err := Select(randx.New(1), cols, oracle.NewSimulated(d), bad, core.DefaultSUPG(), FuseMean); err == nil {
+		t.Error("invalid spec should be rejected")
+	}
+	good := core.Spec{Kind: core.RecallTarget, Gamma: 0.8, Delta: 0.05, Budget: 100}
+	if _, err := Select(randx.New(1), nil, oracle.NewSimulated(d), good, core.DefaultSUPG(), FuseMean); err == nil {
+		t.Error("nil columns should be rejected")
+	}
+	if _, err := Select(randx.New(1), cols, oracle.NewSimulated(d), good, core.DefaultSUPG(), Fusion(9)); err == nil {
+		t.Error("unknown fusion should be rejected")
+	}
+}
+
+func TestFusionStrings(t *testing.T) {
+	if FuseMean.String() != "mean" || FuseMax.String() != "max" || FuseLogistic.String() != "logistic" {
+		t.Error("fusion strings")
+	}
+}

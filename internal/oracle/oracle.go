@@ -1,0 +1,154 @@
+// Package oracle models the expensive ground-truth predicate of a SUPG
+// query. The paper treats the oracle as a user-provided UDF — a human
+// labeler or an expensive DNN — whose calls are counted against a hard
+// budget (the ORACLE LIMIT clause). This package provides the Oracle
+// interface, budget enforcement, call accounting, and a simulated
+// oracle backed by a dataset's hidden ground-truth labels with optional
+// per-call cost and latency modeling.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"supg/internal/dataset"
+)
+
+// Oracle evaluates the ground-truth predicate O(x) for a record index.
+// Implementations may be expensive; callers must respect budgets.
+type Oracle interface {
+	// Label returns the oracle predicate value for record i.
+	Label(i int) (bool, error)
+}
+
+// Func adapts a plain function to the Oracle interface.
+type Func func(i int) (bool, error)
+
+// Label implements Oracle.
+func (f Func) Label(i int) (bool, error) { return f(i) }
+
+// ErrBudgetExhausted is returned by a Budgeted oracle once its call
+// limit has been spent.
+var ErrBudgetExhausted = errors.New("oracle: budget exhausted")
+
+// Simulated is an oracle backed by a dataset's hidden ground-truth
+// labels, with per-call accounting. It stands in for human labelers and
+// ground-truth DNNs per the substitution notes in DESIGN.md.
+type Simulated struct {
+	data        *dataset.Dataset
+	calls       int
+	uniqueCalls map[int]struct{}
+	costPerCall float64
+	latency     time.Duration
+}
+
+// NewSimulated returns an oracle that reveals d's ground-truth labels.
+func NewSimulated(d *dataset.Dataset) *Simulated {
+	return &Simulated{data: d, uniqueCalls: make(map[int]struct{})}
+}
+
+// WithCost sets a per-call dollar cost used by the cost model.
+func (s *Simulated) WithCost(dollars float64) *Simulated {
+	s.costPerCall = dollars
+	return s
+}
+
+// WithLatency makes each call sleep for d, for end-to-end demos.
+func (s *Simulated) WithLatency(d time.Duration) *Simulated {
+	s.latency = d
+	return s
+}
+
+// Label implements Oracle.
+func (s *Simulated) Label(i int) (bool, error) {
+	if i < 0 || i >= s.data.Len() {
+		return false, fmt.Errorf("oracle: record %d out of range [0,%d)", i, s.data.Len())
+	}
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
+	s.calls++
+	s.uniqueCalls[i] = struct{}{}
+	return s.data.TrueLabel(i), nil
+}
+
+// Calls returns the total number of Label invocations.
+func (s *Simulated) Calls() int { return s.calls }
+
+// UniqueCalls returns the number of distinct records labeled.
+func (s *Simulated) UniqueCalls() int { return len(s.uniqueCalls) }
+
+// SpentCost returns calls × cost-per-call in dollars.
+func (s *Simulated) SpentCost() float64 { return float64(s.calls) * s.costPerCall }
+
+// Reset clears the call accounting (not the cost configuration).
+func (s *Simulated) Reset() {
+	s.calls = 0
+	s.uniqueCalls = make(map[int]struct{})
+}
+
+// Budgeted wraps an oracle with a hard call limit and memoization.
+// Repeat labels of an already-labeled record are served from cache and
+// do NOT consume budget, matching the paper's model where the label of
+// a record, once obtained, is known. Once remaining budget reaches zero
+// any uncached call fails with ErrBudgetExhausted.
+type Budgeted struct {
+	inner  Oracle
+	budget int
+	used   int
+	cache  map[int]bool
+}
+
+// NewBudgeted wraps inner with a limit of budget oracle calls.
+func NewBudgeted(inner Oracle, budget int) *Budgeted {
+	return &Budgeted{inner: inner, budget: budget, cache: make(map[int]bool)}
+}
+
+// Label implements Oracle with budget enforcement and memoization.
+func (b *Budgeted) Label(i int) (bool, error) {
+	if v, ok := b.cache[i]; ok {
+		return v, nil
+	}
+	if b.used >= b.budget {
+		return false, fmt.Errorf("%w (limit %d)", ErrBudgetExhausted, b.budget)
+	}
+	v, err := b.inner.Label(i)
+	if err != nil {
+		return false, err
+	}
+	b.used++
+	b.cache[i] = v
+	return v, nil
+}
+
+// Used returns the number of budget-consuming calls made so far.
+func (b *Budgeted) Used() int { return b.used }
+
+// Remaining returns the budget still available.
+func (b *Budgeted) Remaining() int { return b.budget - b.used }
+
+// Budget returns the configured limit.
+func (b *Budgeted) Budget() int { return b.budget }
+
+// Labeled returns a snapshot of all labeled records so far as a map of
+// record index to label.
+func (b *Budgeted) Labeled() map[int]bool {
+	out := make(map[int]bool, len(b.cache))
+	for k, v := range b.cache {
+		out[k] = v
+	}
+	return out
+}
+
+// LabeledPositives returns the indices labeled positive so far — the R1
+// component of Algorithm 1's result.
+func (b *Budgeted) LabeledPositives() []int {
+	var out []int
+	for k, v := range b.cache {
+		if v {
+			out = append(out, k)
+		}
+	}
+	return out
+}

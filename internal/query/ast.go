@@ -1,0 +1,172 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TargetType distinguishes the query forms of Figures 3 and 14.
+type TargetType int
+
+const (
+	// RecallTargetQuery is a Figure 3 RT query.
+	RecallTargetQuery TargetType = iota
+	// PrecisionTargetQuery is a Figure 3 PT query.
+	PrecisionTargetQuery
+	// JointTargetQuery is a Figure 14 query with both targets.
+	JointTargetQuery
+)
+
+// String implements fmt.Stringer.
+func (t TargetType) String() string {
+	switch t {
+	case RecallTargetQuery:
+		return "RECALL TARGET"
+	case PrecisionTargetQuery:
+		return "PRECISION TARGET"
+	case JointTargetQuery:
+		return "RECALL+PRECISION TARGET"
+	}
+	return fmt.Sprintf("TargetType(%d)", int(t))
+}
+
+// Predicate is a UDF invocation optionally compared against a literal:
+// HUMMINGBIRD_PRESENT(frame) = True, or DNN_CLASSIFIER(frame) = "hummingbird".
+type Predicate struct {
+	// Func is the UDF name.
+	Func string
+	// Args are the argument identifiers (column references).
+	Args []string
+	// Compare is the comparison literal; empty when the predicate is
+	// used bare (implicitly boolean / score-valued).
+	Compare string
+	// HasCompare reports whether an "=" clause was present.
+	HasCompare bool
+}
+
+// String renders the predicate in query syntax.
+func (p Predicate) String() string {
+	var sb strings.Builder
+	sb.WriteString(p.Func)
+	sb.WriteByte('(')
+	sb.WriteString(strings.Join(p.Args, ", "))
+	sb.WriteByte(')')
+	if p.HasCompare {
+		fmt.Fprintf(&sb, " = %s", quoteIfNeeded(p.Compare))
+	}
+	return sb.String()
+}
+
+// Query is the parsed form of a SUPG statement.
+type Query struct {
+	// Table is the FROM target.
+	Table string
+	// Oracle is the WHERE predicate (the ground-truth filter).
+	Oracle Predicate
+	// Proxy is the USING expression (the proxy-score source).
+	Proxy Predicate
+	// Type selects RT / PT / JT semantics.
+	Type TargetType
+	// OracleLimit is the ORACLE LIMIT budget; 0 for JT queries.
+	OracleLimit int
+	// RecallTarget is set for RT and JT queries (fraction in (0,1]).
+	RecallTarget float64
+	// PrecisionTarget is set for PT and JT queries.
+	PrecisionTarget float64
+	// Probability is the WITH PROBABILITY success level (1 - delta).
+	Probability float64
+}
+
+// Delta returns the failure probability 1 - Probability.
+func (q *Query) Delta() float64 { return 1 - q.Probability }
+
+// String renders the query back to canonical syntax.
+func (q *Query) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SELECT * FROM %s\n", q.Table)
+	fmt.Fprintf(&sb, "WHERE %s\n", q.Oracle)
+	if q.Type != JointTargetQuery {
+		fmt.Fprintf(&sb, "ORACLE LIMIT %d\n", q.OracleLimit)
+	}
+	fmt.Fprintf(&sb, "USING %s\n", q.Proxy)
+	switch q.Type {
+	case RecallTargetQuery:
+		fmt.Fprintf(&sb, "RECALL TARGET %s\n", formatPercent(q.RecallTarget))
+	case PrecisionTargetQuery:
+		fmt.Fprintf(&sb, "PRECISION TARGET %s\n", formatPercent(q.PrecisionTarget))
+	case JointTargetQuery:
+		fmt.Fprintf(&sb, "RECALL TARGET %s\n", formatPercent(q.RecallTarget))
+		fmt.Fprintf(&sb, "PRECISION TARGET %s\n", formatPercent(q.PrecisionTarget))
+	}
+	fmt.Fprintf(&sb, "WITH PROBABILITY %s", formatPercent(q.Probability))
+	return sb.String()
+}
+
+// Validate checks semantic constraints beyond the grammar.
+func (q *Query) Validate() error {
+	if q.Table == "" {
+		return fmt.Errorf("query: missing table name")
+	}
+	if q.Oracle.Func == "" {
+		return fmt.Errorf("query: missing WHERE oracle predicate")
+	}
+	if q.Proxy.Func == "" {
+		return fmt.Errorf("query: missing USING proxy expression")
+	}
+	if q.Probability <= 0 || q.Probability >= 1 {
+		return fmt.Errorf("query: WITH PROBABILITY %g outside (0, 1)", q.Probability)
+	}
+	checkTarget := func(name string, v float64) error {
+		if v <= 0 || v > 1 {
+			return fmt.Errorf("query: %s %g outside (0, 1]", name, v)
+		}
+		return nil
+	}
+	switch q.Type {
+	case RecallTargetQuery:
+		if err := checkTarget("RECALL TARGET", q.RecallTarget); err != nil {
+			return err
+		}
+		if q.OracleLimit <= 0 {
+			return fmt.Errorf("query: RT query requires a positive ORACLE LIMIT")
+		}
+	case PrecisionTargetQuery:
+		if err := checkTarget("PRECISION TARGET", q.PrecisionTarget); err != nil {
+			return err
+		}
+		if q.OracleLimit <= 0 {
+			return fmt.Errorf("query: PT query requires a positive ORACLE LIMIT")
+		}
+	case JointTargetQuery:
+		if err := checkTarget("RECALL TARGET", q.RecallTarget); err != nil {
+			return err
+		}
+		if err := checkTarget("PRECISION TARGET", q.PrecisionTarget); err != nil {
+			return err
+		}
+		if q.OracleLimit != 0 {
+			return fmt.Errorf("query: joint-target queries do not take an ORACLE LIMIT")
+		}
+	}
+	return nil
+}
+
+func formatPercent(v float64) string {
+	return fmt.Sprintf("%g%%", v*100)
+}
+
+func quoteIfNeeded(s string) string {
+	switch strings.ToLower(s) {
+	case "true", "false":
+		return s
+	}
+	for _, r := range s {
+		if !isIdentPart(r) {
+			return "\"" + s + "\""
+		}
+	}
+	if len(s) > 0 && isDigit(s[0]) {
+		return s
+	}
+	return "\"" + s + "\""
+}

@@ -1,0 +1,196 @@
+// Package query implements the SUPG query language of the paper's
+// Figures 3 and 14:
+//
+//	SELECT * FROM table_name
+//	WHERE filter_predicate
+//	ORACLE LIMIT o
+//	USING proxy_estimates
+//	[RECALL | PRECISION] TARGET t
+//	WITH PROBABILITY p
+//
+// and the joint-target form without an oracle limit:
+//
+//	SELECT * FROM table_name
+//	WHERE filter_predicate
+//	USING proxy_estimates
+//	RECALL TARGET tr
+//	PRECISION TARGET tp
+//	WITH PROBABILITY p
+//
+// The package provides a lexer, AST, recursive-descent parser, and a
+// planner that lowers a parsed query onto core.Spec / core.JointSpec.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokStar
+	tokLParen
+	tokRParen
+	tokComma
+	tokEquals
+	tokPercent
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokStar:
+		return "'*'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokEquals:
+		return "'='"
+	case tokPercent:
+		return "'%'"
+	}
+	return fmt.Sprintf("tokenKind(%d)", int(k))
+}
+
+// token is one lexeme with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits SUPG query text into tokens. Keywords are returned as
+// tokIdent; the parser matches them case-insensitively.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// Error is a query parse error with position information.
+type Error struct {
+	Pos     int
+	Message string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("query: at offset %d: %s", e.Pos, e.Message)
+}
+
+func (l *lexer) errorf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Message: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// SQL line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '=':
+		l.pos++
+		return token{tokEquals, "=", start}, nil
+	case c == '%':
+		l.pos++
+		return token{tokPercent, "%", start}, nil
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != quote {
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf(start, "unterminated string literal")
+		}
+		l.pos++ // closing quote
+		return token{tokString, sb.String(), start}, nil
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' ||
+			l.src[l.pos] == '_' || l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+			((l.src[l.pos] == '+' || l.src[l.pos] == '-') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+			l.pos++
+		}
+		return token{tokNumber, strings.ReplaceAll(l.src[start:l.pos], "_", ""), start}, nil
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], start}, nil
+	}
+	return token{}, l.errorf(start, "unexpected character %q", c)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// lexAll tokenizes the whole input (testing helper and parser driver).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

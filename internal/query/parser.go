@@ -1,0 +1,238 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a SUPG statement in the Figure 3 / Figure 14 grammar and
+// validates it. Keywords are case-insensitive; clauses must appear in
+// the order shown in the paper (SELECT, FROM, WHERE, [ORACLE LIMIT],
+// USING, targets, WITH PROBABILITY).
+func Parse(src string) (*Query, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// keyword consumes the next token if it is the given keyword
+// (case-insensitive) and reports whether it did.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		t := p.peek()
+		return &Error{Pos: t.pos, Message: fmt.Sprintf("expected keyword %s, found %s %q", strings.ToUpper(kw), t.kind, t.text)}
+	}
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return token{}, &Error{Pos: t.pos, Message: fmt.Sprintf("expected %s, found %s %q", kind, t.kind, t.text)}
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokStar); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	q.Table = table.text
+
+	if err := p.expectKeyword("where"); err != nil {
+		return nil, err
+	}
+	q.Oracle, err = p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+
+	hasLimit := false
+	if p.keyword("oracle") {
+		if err := p.expectKeyword("limit"); err != nil {
+			return nil, err
+		}
+		num, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		limit, err := strconv.ParseFloat(num.text, 64)
+		if err != nil || limit != float64(int(limit)) || limit <= 0 {
+			return nil, &Error{Pos: num.pos, Message: fmt.Sprintf("ORACLE LIMIT must be a positive integer, got %q", num.text)}
+		}
+		q.OracleLimit = int(limit)
+		hasLimit = true
+	}
+
+	if err := p.expectKeyword("using"); err != nil {
+		return nil, err
+	}
+	q.Proxy, err = p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+
+	// Targets: RECALL TARGET t, PRECISION TARGET t, or both (JT).
+	hasRecall, hasPrecision := false, false
+	for {
+		switch {
+		case !hasRecall && p.keyword("recall"):
+			if err := p.expectKeyword("target"); err != nil {
+				return nil, err
+			}
+			q.RecallTarget, err = p.parseFraction()
+			if err != nil {
+				return nil, err
+			}
+			hasRecall = true
+			continue
+		case !hasPrecision && p.keyword("precision"):
+			if err := p.expectKeyword("target"); err != nil {
+				return nil, err
+			}
+			q.PrecisionTarget, err = p.parseFraction()
+			if err != nil {
+				return nil, err
+			}
+			hasPrecision = true
+			continue
+		}
+		break
+	}
+	switch {
+	case hasRecall && hasPrecision:
+		q.Type = JointTargetQuery
+		if hasLimit {
+			return nil, &Error{Pos: p.peek().pos, Message: "joint-target queries must not specify ORACLE LIMIT (the oracle may be queried an unbounded number of times)"}
+		}
+	case hasRecall:
+		q.Type = RecallTargetQuery
+	case hasPrecision:
+		q.Type = PrecisionTargetQuery
+	default:
+		return nil, &Error{Pos: p.peek().pos, Message: "expected RECALL TARGET and/or PRECISION TARGET clause"}
+	}
+
+	if err := p.expectKeyword("with"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("probability"); err != nil {
+		return nil, err
+	}
+	q.Probability, err = p.parseFraction()
+	if err != nil {
+		return nil, err
+	}
+
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, &Error{Pos: t.pos, Message: fmt.Sprintf("unexpected trailing input starting at %q", t.text)}
+	}
+	return q, nil
+}
+
+// parsePredicate parses FUNC(arg, ...) [= literal].
+func (p *parser) parsePredicate() (Predicate, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return Predicate{}, err
+	}
+	pred := Predicate{Func: name.text}
+	if p.peek().kind == tokLParen {
+		p.advance()
+		for p.peek().kind != tokRParen {
+			arg, err := p.expect(tokIdent)
+			if err != nil {
+				return Predicate{}, err
+			}
+			pred.Args = append(pred.Args, arg.text)
+			if p.peek().kind == tokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return Predicate{}, err
+		}
+	}
+	if p.peek().kind == tokEquals {
+		p.advance()
+		t := p.peek()
+		switch t.kind {
+		case tokIdent, tokString, tokNumber:
+			p.advance()
+			pred.Compare = t.text
+			pred.HasCompare = true
+		default:
+			return Predicate{}, &Error{Pos: t.pos, Message: fmt.Sprintf("expected literal after '=', found %s", t.kind)}
+		}
+	}
+	return pred, nil
+}
+
+// parseFraction parses a probability/target expressed either as a
+// percentage ("95%", "95 %") or a fraction ("0.95").
+func (p *parser) parseFraction() (float64, error) {
+	num, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(num.text, 64)
+	if err != nil {
+		return 0, &Error{Pos: num.pos, Message: fmt.Sprintf("bad number %q: %v", num.text, err)}
+	}
+	if p.peek().kind == tokPercent {
+		p.advance()
+		v /= 100
+	} else if v > 1 {
+		// "RECALL TARGET 95" without a percent sign clearly means 95%.
+		v /= 100
+	}
+	return v, nil
+}

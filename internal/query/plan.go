@@ -1,0 +1,93 @@
+package query
+
+import (
+	"fmt"
+
+	"supg/internal/core"
+)
+
+// Plan is the physical plan for a parsed query: the core algorithm
+// specification plus the names the engine must resolve against its
+// catalog and UDF registry.
+type Plan struct {
+	Table      string
+	OracleUDF  string
+	ProxyUDF   string
+	Kind       PlanKind
+	Spec       core.Spec      // for RT/PT plans
+	JointSpec  core.JointSpec // for JT plans
+	Config     core.Config
+	SourceText string
+}
+
+// PlanKind distinguishes budgeted from joint plans.
+type PlanKind int
+
+const (
+	// PlanBudgeted executes an RT or PT query under an oracle budget.
+	PlanBudgeted PlanKind = iota
+	// PlanJoint executes a JT query with unrestricted oracle access.
+	PlanJoint
+)
+
+// PlanOptions tune planning. The zero value selects the paper defaults
+// (SUPG importance sampling).
+type PlanOptions struct {
+	// Config overrides the algorithm configuration; nil selects
+	// core.DefaultSUPG().
+	Config *core.Config
+	// JointStageBudget sets the optimistic stage-2 budget for JT
+	// queries; 0 selects 1000.
+	JointStageBudget int
+}
+
+// BuildPlan lowers a validated query onto the core algorithms.
+func BuildPlan(q *Query, opts PlanOptions) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultSUPG()
+	if opts.Config != nil {
+		cfg = *opts.Config
+	}
+	p := &Plan{
+		Table:      q.Table,
+		OracleUDF:  q.Oracle.Func,
+		ProxyUDF:   q.Proxy.Func,
+		Config:     cfg,
+		SourceText: q.String(),
+	}
+	switch q.Type {
+	case RecallTargetQuery:
+		p.Kind = PlanBudgeted
+		p.Spec = core.Spec{
+			Kind:   core.RecallTarget,
+			Gamma:  q.RecallTarget,
+			Delta:  q.Delta(),
+			Budget: q.OracleLimit,
+		}
+	case PrecisionTargetQuery:
+		p.Kind = PlanBudgeted
+		p.Spec = core.Spec{
+			Kind:   core.PrecisionTarget,
+			Gamma:  q.PrecisionTarget,
+			Delta:  q.Delta(),
+			Budget: q.OracleLimit,
+		}
+	case JointTargetQuery:
+		p.Kind = PlanJoint
+		budget := opts.JointStageBudget
+		if budget <= 0 {
+			budget = 1000
+		}
+		p.JointSpec = core.JointSpec{
+			GammaRecall:    q.RecallTarget,
+			GammaPrecision: q.PrecisionTarget,
+			Delta:          q.Delta(),
+			StageBudget:    budget,
+		}
+	default:
+		return nil, fmt.Errorf("query: unknown query type %v", q.Type)
+	}
+	return p, nil
+}

@@ -1,0 +1,310 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"supg/internal/core"
+)
+
+const rtQuery = `
+SELECT * FROM hummingbird_video
+WHERE HUMMINGBIRD_PRESENT(frame) = True
+ORACLE LIMIT 10000
+USING DNN_CLASSIFIER(frame) = "hummingbird"
+RECALL TARGET 95%
+WITH PROBABILITY 95%`
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lexAll(`SELECT * FROM t WHERE f(x) = 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{tokIdent, tokStar, tokIdent, tokIdent, tokIdent, tokIdent, tokLParen, tokIdent, tokRParen, tokEquals, tokNumber, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Fatalf("token %d: kind %v, want %v", i, toks[i].kind, k)
+		}
+	}
+}
+
+func TestLexerStringsAndComments(t *testing.T) {
+	toks, err := lexAll(`USING f(x) = "multi word" -- trailing comment
+	'single'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var strs []string
+	for _, tk := range toks {
+		if tk.kind == tokString {
+			strs = append(strs, tk.text)
+		}
+	}
+	if len(strs) != 2 || strs[0] != "multi word" || strs[1] != "single" {
+		t.Fatalf("strings = %v", strs)
+	}
+}
+
+func TestLexerUnterminatedString(t *testing.T) {
+	if _, err := lexAll(`WHERE f(x) = "oops`); err == nil {
+		t.Fatal("unterminated string should error")
+	}
+}
+
+func TestLexerNumberForms(t *testing.T) {
+	toks, err := lexAll(`0.95 95 1e-3 10_000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"0.95", "95", "1e-3", "10000"}
+	for i, w := range want {
+		if toks[i].kind != tokNumber || toks[i].text != w {
+			t.Fatalf("number %d: %+v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexerUnexpectedCharacter(t *testing.T) {
+	if _, err := lexAll(`SELECT ; FROM`); err == nil {
+		t.Fatal("';' should be rejected")
+	}
+}
+
+func TestParseRecallTarget(t *testing.T) {
+	q, err := Parse(rtQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != RecallTargetQuery {
+		t.Errorf("type %v", q.Type)
+	}
+	if q.Table != "hummingbird_video" {
+		t.Errorf("table %q", q.Table)
+	}
+	if q.Oracle.Func != "HUMMINGBIRD_PRESENT" || q.Oracle.Args[0] != "frame" || q.Oracle.Compare != "True" {
+		t.Errorf("oracle predicate %+v", q.Oracle)
+	}
+	if q.Proxy.Func != "DNN_CLASSIFIER" || q.Proxy.Compare != "hummingbird" {
+		t.Errorf("proxy predicate %+v", q.Proxy)
+	}
+	if q.OracleLimit != 10000 {
+		t.Errorf("limit %d", q.OracleLimit)
+	}
+	if q.RecallTarget != 0.95 || q.Probability != 0.95 {
+		t.Errorf("targets %v %v", q.RecallTarget, q.Probability)
+	}
+	if d := q.Delta(); d < 0.049 || d > 0.051 {
+		t.Errorf("delta %v", d)
+	}
+}
+
+func TestParsePrecisionTarget(t *testing.T) {
+	q, err := Parse(`SELECT * FROM docs WHERE rel(d) ORACLE LIMIT 500 USING bert(d) PRECISION TARGET 0.8 WITH PROBABILITY 0.99`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != PrecisionTargetQuery || q.PrecisionTarget != 0.8 || q.Probability != 0.99 {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+func TestParseJointTarget(t *testing.T) {
+	q, err := Parse(`
+		SELECT * FROM t
+		WHERE oracle(x)
+		USING proxy(x)
+		RECALL TARGET 90%
+		PRECISION TARGET 80%
+		WITH PROBABILITY 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != JointTargetQuery {
+		t.Fatalf("type %v", q.Type)
+	}
+	if q.RecallTarget != 0.9 || q.PrecisionTarget != 0.8 {
+		t.Errorf("targets %v %v", q.RecallTarget, q.PrecisionTarget)
+	}
+	if q.OracleLimit != 0 {
+		t.Errorf("JT query should have no limit, got %d", q.OracleLimit)
+	}
+}
+
+func TestParseJointOrderInsensitive(t *testing.T) {
+	q, err := Parse(`SELECT * FROM t WHERE o(x) USING p(x)
+		PRECISION TARGET 80% RECALL TARGET 90% WITH PROBABILITY 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != JointTargetQuery || q.RecallTarget != 0.9 || q.PrecisionTarget != 0.8 {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse(`select * from t where o(x) oracle limit 100 using p(x) recall target 90% with probability 95%`); err != nil {
+		t.Fatalf("lowercase keywords rejected: %v", err)
+	}
+}
+
+func TestParsePercentAndFractionForms(t *testing.T) {
+	forms := []string{"90%", "0.9", "90"}
+	for _, f := range forms {
+		q, err := Parse(`SELECT * FROM t WHERE o(x) ORACLE LIMIT 10 USING p(x) RECALL TARGET ` + f + ` WITH PROBABILITY 95%`)
+		if err != nil {
+			t.Fatalf("form %q: %v", f, err)
+		}
+		if q.RecallTarget != 0.9 {
+			t.Fatalf("form %q parsed as %v", f, q.RecallTarget)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"missing select", `FROM t WHERE o(x) ORACLE LIMIT 10 USING p(x) RECALL TARGET 90% WITH PROBABILITY 95%`},
+		{"missing star", `SELECT x FROM t WHERE o(x) ORACLE LIMIT 10 USING p(x) RECALL TARGET 90% WITH PROBABILITY 95%`},
+		{"missing where", `SELECT * FROM t ORACLE LIMIT 10 USING p(x) RECALL TARGET 90% WITH PROBABILITY 95%`},
+		{"missing using", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 10 RECALL TARGET 90% WITH PROBABILITY 95%`},
+		{"missing target", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 10 USING p(x) WITH PROBABILITY 95%`},
+		{"missing probability", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 10 USING p(x) RECALL TARGET 90%`},
+		{"bad limit", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 1.5 USING p(x) RECALL TARGET 90% WITH PROBABILITY 95%`},
+		{"zero limit", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 0 USING p(x) RECALL TARGET 90% WITH PROBABILITY 95%`},
+		{"jt with limit", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 10 USING p(x) RECALL TARGET 90% PRECISION TARGET 80% WITH PROBABILITY 95%`},
+		{"trailing", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 10 USING p(x) RECALL TARGET 90% WITH PROBABILITY 95% EXTRA`},
+		{"probability 1", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 10 USING p(x) RECALL TARGET 90% WITH PROBABILITY 1.0`},
+		{"target 0", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 10 USING p(x) RECALL TARGET 0 WITH PROBABILITY 95%`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse(`SELECT * FROM t WHERE o(x) ORACLE LIMIT abc USING p(x) RECALL TARGET 90% WITH PROBABILITY 95%`)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var qe *Error
+	if !asQueryError(err, &qe) {
+		t.Fatalf("error %T is not *Error", err)
+	}
+	if qe.Pos <= 0 {
+		t.Errorf("error position %d", qe.Pos)
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error message %q should include offset", err.Error())
+	}
+}
+
+func asQueryError(err error, target **Error) bool {
+	if e, ok := err.(*Error); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		rtQuery,
+		`SELECT * FROM docs WHERE rel(d) ORACLE LIMIT 500 USING bert(d) PRECISION TARGET 80% WITH PROBABILITY 99%`,
+		`SELECT * FROM t WHERE o(x) USING p(x) RECALL TARGET 90% PRECISION TARGET 80% WITH PROBABILITY 95%`,
+	}
+	for _, src := range srcs {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Fatalf("roundtrip mismatch:\n%s\nvs\n%s", q1, q2)
+		}
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	p := Predicate{Func: "F", Args: []string{"a", "b"}, Compare: "yes", HasCompare: true}
+	if got := p.String(); got != `F(a, b) = yes` && got != `F(a, b) = "yes"` {
+		t.Errorf("predicate string %q", got)
+	}
+}
+
+func TestBuildPlanRT(t *testing.T) {
+	q, err := Parse(rtQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPlan(q, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != PlanBudgeted {
+		t.Errorf("kind %v", p.Kind)
+	}
+	if p.Spec.Kind != core.RecallTarget || p.Spec.Gamma != 0.95 || p.Spec.Budget != 10000 {
+		t.Errorf("spec %+v", p.Spec)
+	}
+	if p.Config.Method != core.MethodISCI {
+		t.Errorf("default config should be SUPG, got %v", p.Config.Method)
+	}
+	if p.OracleUDF != "HUMMINGBIRD_PRESENT" || p.ProxyUDF != "DNN_CLASSIFIER" {
+		t.Errorf("UDFs %q %q", p.OracleUDF, p.ProxyUDF)
+	}
+}
+
+func TestBuildPlanJT(t *testing.T) {
+	q, err := Parse(`SELECT * FROM t WHERE o(x) USING p(x) RECALL TARGET 90% PRECISION TARGET 80% WITH PROBABILITY 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPlan(q, PlanOptions{JointStageBudget: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != PlanJoint || p.JointSpec.StageBudget != 777 {
+		t.Errorf("plan %+v", p)
+	}
+	if p.JointSpec.GammaRecall != 0.9 || p.JointSpec.GammaPrecision != 0.8 {
+		t.Errorf("joint spec %+v", p.JointSpec)
+	}
+}
+
+func TestBuildPlanConfigOverride(t *testing.T) {
+	q, err := Parse(rtQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultUCI()
+	p, err := BuildPlan(q, PlanOptions{Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Config.Method != core.MethodUCI {
+		t.Errorf("override ignored: %v", p.Config.Method)
+	}
+}
+
+func TestTargetTypeStrings(t *testing.T) {
+	if RecallTargetQuery.String() == "" || JointTargetQuery.String() == "" {
+		t.Error("TargetType strings empty")
+	}
+}
+
+func TestBarePredicateNoArgs(t *testing.T) {
+	q, err := Parse(`SELECT * FROM t WHERE is_match ORACLE LIMIT 10 USING score RECALL TARGET 90% WITH PROBABILITY 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Oracle.Func != "is_match" || len(q.Oracle.Args) != 0 {
+		t.Errorf("bare predicate %+v", q.Oracle)
+	}
+}

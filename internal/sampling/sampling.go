@@ -1,0 +1,210 @@
+// Package sampling implements the record-selection substrates SUPG needs:
+// uniform sampling without replacement, weighted (importance) sampling
+// with replacement via the Vose alias method, reservoir sampling, and
+// the defensive-mixture weight construction from the paper's Algorithms
+// 4 and 5.
+package sampling
+
+import (
+	"math"
+
+	"supg/internal/randx"
+)
+
+// UniformWithoutReplacement returns k distinct indices drawn uniformly
+// from [0, n) using a partial Fisher–Yates shuffle (O(k) memory beyond
+// the index table, O(n) setup). If k >= n it returns all n indices.
+func UniformWithoutReplacement(r *randx.Rand, n, k int) []int {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// UniformWithReplacement returns k indices drawn uniformly with
+// replacement from [0, n).
+func UniformWithReplacement(r *randx.Rand, n, k int) []int {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = r.IntN(n)
+	}
+	return out
+}
+
+// Reservoir returns k indices sampled uniformly without replacement from
+// a stream of n items using Vitter's Algorithm R. It exists for callers
+// that cannot afford the O(n) index table of UniformWithoutReplacement.
+func Reservoir(r *randx.Rand, n, k int) []int {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	res := make([]int, k)
+	for i := 0; i < k; i++ {
+		res[i] = i
+	}
+	for i := k; i < n; i++ {
+		j := r.IntN(i + 1)
+		if j < k {
+			res[j] = i
+		}
+	}
+	return res
+}
+
+// Alias is a Walker/Vose alias table supporting O(1) draws from an
+// arbitrary discrete distribution over [0, n).
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table from non-negative weights. Weights need
+// not be normalized. It returns nil if no weight is positive.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic("sampling: alias weights must be finite and non-negative")
+		}
+		total += w
+	}
+	if n == 0 || total <= 0 {
+		return nil
+	}
+
+	prob := make([]float64, n)
+	alias := make([]int, n)
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		prob[s] = scaled[s]
+		alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		prob[i] = 1
+		alias[i] = i
+	}
+	for _, i := range small {
+		prob[i] = 1 // numerical residue
+		alias[i] = i
+	}
+	return &Alias{prob: prob, alias: alias}
+}
+
+// Draw returns one index distributed according to the table's weights.
+func (a *Alias) Draw(r *randx.Rand) int {
+	i := r.IntN(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// DrawN returns k indices drawn with replacement.
+func (a *Alias) DrawN(r *randx.Rand, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = a.Draw(r)
+	}
+	return out
+}
+
+// Len returns the support size of the table.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// WeightedWithReplacement returns k indices drawn with replacement with
+// probability proportional to weights.
+func WeightedWithReplacement(r *randx.Rand, weights []float64, k int) []int {
+	a := NewAlias(weights)
+	if a == nil || k <= 0 {
+		return nil
+	}
+	return a.DrawN(r, k)
+}
+
+// DefensiveWeights builds the sampling distribution of Algorithms 4/5:
+// each proxy score is raised to exponent, normalized to sum 1, and mixed
+// with the uniform distribution: w = (1-mix)·pow/||pow||₁ + mix·1/n.
+// The paper uses exponent 0.5 and mix 0.1. The returned slice sums to 1.
+// Scores are clamped at 0 before exponentiation. If every transformed
+// score is zero the result is fully uniform.
+func DefensiveWeights(scores []float64, exponent, mix float64) []float64 {
+	n := len(scores)
+	if n == 0 {
+		return nil
+	}
+	if mix < 0 {
+		mix = 0
+	}
+	if mix > 1 {
+		mix = 1
+	}
+	w := make([]float64, n)
+	total := 0.0
+	for i, s := range scores {
+		if s < 0 {
+			s = 0
+		}
+		var v float64
+		switch {
+		case exponent == 0:
+			v = 1
+		case exponent == 1:
+			v = s
+		case exponent == 0.5:
+			v = math.Sqrt(s)
+		default:
+			v = math.Pow(s, exponent)
+		}
+		w[i] = v
+		total += v
+	}
+	uniform := 1.0 / float64(n)
+	if total <= 0 {
+		for i := range w {
+			w[i] = uniform
+		}
+		return w
+	}
+	for i := range w {
+		w[i] = (1-mix)*w[i]/total + mix*uniform
+	}
+	return w
+}

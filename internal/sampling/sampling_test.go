@@ -1,0 +1,329 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"supg/internal/randx"
+)
+
+func TestUniformWithoutReplacementDistinct(t *testing.T) {
+	r := randx.New(1)
+	idx := UniformWithoutReplacement(r, 100, 40)
+	if len(idx) != 40 {
+		t.Fatalf("got %d indices, want 40", len(idx))
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= 100 {
+			t.Fatalf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestUniformWithoutReplacementExhaustive(t *testing.T) {
+	r := randx.New(2)
+	idx := UniformWithoutReplacement(r, 10, 25)
+	if len(idx) != 10 {
+		t.Fatalf("k > n should return all n, got %d", len(idx))
+	}
+}
+
+func TestUniformWithoutReplacementEdge(t *testing.T) {
+	r := randx.New(3)
+	if UniformWithoutReplacement(r, 0, 5) != nil {
+		t.Error("n=0 should return nil")
+	}
+	if UniformWithoutReplacement(r, 5, 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestUniformWithoutReplacementUniformity(t *testing.T) {
+	r := randx.New(4)
+	counts := make([]int, 20)
+	trials := 20000
+	for i := 0; i < trials; i++ {
+		for _, j := range UniformWithoutReplacement(r, 20, 5) {
+			counts[j]++
+		}
+	}
+	// Each index should appear with probability 5/20 = 0.25.
+	want := float64(trials) * 0.25
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.1*want {
+			t.Fatalf("index %d drawn %d times, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestUniformWithReplacement(t *testing.T) {
+	r := randx.New(5)
+	idx := UniformWithReplacement(r, 10, 1000)
+	if len(idx) != 1000 {
+		t.Fatalf("got %d draws", len(idx))
+	}
+	for _, i := range idx {
+		if i < 0 || i >= 10 {
+			t.Fatalf("index %d out of range", i)
+		}
+	}
+}
+
+func TestReservoirMatchesUniform(t *testing.T) {
+	r := randx.New(6)
+	counts := make([]int, 30)
+	trials := 20000
+	for i := 0; i < trials; i++ {
+		for _, j := range Reservoir(r, 30, 6) {
+			counts[j]++
+		}
+	}
+	want := float64(trials) * 6 / 30
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.1*want {
+			t.Fatalf("reservoir index %d drawn %d times, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestReservoirDistinct(t *testing.T) {
+	r := randx.New(7)
+	idx := Reservoir(r, 50, 10)
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatalf("duplicate %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	r := randx.New(8)
+	weights := []float64{1, 2, 3, 4}
+	a := NewAlias(weights)
+	counts := make([]int, 4)
+	trials := 100000
+	for i := 0; i < trials; i++ {
+		counts[a.Draw(r)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * float64(trials)
+		if math.Abs(float64(counts[i])-want) > 0.05*want {
+			t.Fatalf("weight %d drawn %d times, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	r := randx.New(9)
+	a := NewAlias([]float64{0, 1, 0, 1})
+	for i := 0; i < 10000; i++ {
+		j := a.Draw(r)
+		if j == 0 || j == 2 {
+			t.Fatalf("zero-weight index %d drawn", j)
+		}
+	}
+}
+
+func TestAliasSingleElement(t *testing.T) {
+	r := randx.New(10)
+	a := NewAlias([]float64{3.5})
+	for i := 0; i < 100; i++ {
+		if a.Draw(r) != 0 {
+			t.Fatal("single-element alias must always draw 0")
+		}
+	}
+}
+
+func TestAliasNilCases(t *testing.T) {
+	if NewAlias(nil) != nil {
+		t.Error("empty weights should give nil")
+	}
+	if NewAlias([]float64{0, 0}) != nil {
+		t.Error("all-zero weights should give nil")
+	}
+}
+
+func TestAliasPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative weight")
+		}
+	}()
+	NewAlias([]float64{1, -1})
+}
+
+func TestAliasPanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on NaN weight")
+		}
+	}()
+	NewAlias([]float64{1, math.NaN()})
+}
+
+func TestAliasSkewedWeights(t *testing.T) {
+	r := randx.New(11)
+	// Heavily skewed: index 0 holds 99.9% of mass.
+	weights := make([]float64, 100)
+	weights[0] = 999
+	for i := 1; i < 100; i++ {
+		weights[i] = 999.0 / 99 / 1000
+	}
+	a := NewAlias(weights)
+	hits := 0
+	trials := 50000
+	for i := 0; i < trials; i++ {
+		if a.Draw(r) == 0 {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(trials)
+	if math.Abs(rate-0.999) > 0.005 {
+		t.Fatalf("skewed alias rate %v, want ~0.999", rate)
+	}
+}
+
+func TestWeightedWithReplacement(t *testing.T) {
+	r := randx.New(12)
+	idx := WeightedWithReplacement(r, []float64{0, 0, 5}, 100)
+	for _, i := range idx {
+		if i != 2 {
+			t.Fatalf("only index 2 has weight; drew %d", i)
+		}
+	}
+	if WeightedWithReplacement(r, []float64{0}, 10) != nil {
+		t.Error("zero-mass weights should give nil")
+	}
+}
+
+func TestDefensiveWeightsSumToOne(t *testing.T) {
+	scores := []float64{0.1, 0.5, 0.9, 0.0, 1.0}
+	for _, exp := range []float64{0, 0.5, 1, 0.3} {
+		for _, mix := range []float64{0, 0.1, 0.5, 1} {
+			w := DefensiveWeights(scores, exp, mix)
+			sum := 0.0
+			for _, v := range w {
+				if v < 0 {
+					t.Fatalf("negative weight %v", v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("exp=%v mix=%v: weights sum to %v", exp, mix, sum)
+			}
+		}
+	}
+}
+
+func TestDefensiveWeightsMixingFloor(t *testing.T) {
+	scores := []float64{0, 0, 0, 1}
+	w := DefensiveWeights(scores, 0.5, 0.1)
+	floor := 0.1 / 4
+	for i := 0; i < 3; i++ {
+		if math.Abs(w[i]-floor) > 1e-12 {
+			t.Fatalf("zero-score weight %v, want mixing floor %v", w[i], floor)
+		}
+	}
+	if w[3] <= w[0] {
+		t.Fatal("high score should outweigh zero scores")
+	}
+}
+
+func TestDefensiveWeightsUniformWhenExponentZero(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.4}
+	w := DefensiveWeights(scores, 0, 0.1)
+	for _, v := range w {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("exponent 0 should be uniform, got %v", w)
+		}
+	}
+}
+
+func TestDefensiveWeightsAllZeroScores(t *testing.T) {
+	w := DefensiveWeights([]float64{0, 0}, 0.5, 0)
+	for _, v := range w {
+		if v != 0.5 {
+			t.Fatalf("all-zero scores should fall back to uniform, got %v", w)
+		}
+	}
+}
+
+func TestDefensiveWeightsSqrtShape(t *testing.T) {
+	// With mix=0, weights should be proportional to sqrt(score).
+	w := DefensiveWeights([]float64{0.25, 1.0}, 0.5, 0)
+	if math.Abs(w[1]/w[0]-2) > 1e-9 {
+		t.Fatalf("sqrt weights ratio %v, want 2", w[1]/w[0])
+	}
+}
+
+func TestDefensiveWeightsClampsMix(t *testing.T) {
+	w := DefensiveWeights([]float64{0.3, 0.6}, 0.5, 2.5) // mix > 1 clamps to uniform
+	if math.Abs(w[0]-0.5) > 1e-12 {
+		t.Fatalf("mix>1 should clamp to uniform, got %v", w)
+	}
+}
+
+// Property: every defensive weight is at least mix/n.
+func TestDefensiveWeightsFloorProperty(t *testing.T) {
+	f := func(raw []float64, mixRaw float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		for i, v := range raw {
+			scores[i] = math.Mod(math.Abs(v), 1)
+		}
+		mix := math.Mod(math.Abs(mixRaw), 1)
+		w := DefensiveWeights(scores, 0.5, mix)
+		floor := mix / float64(len(scores))
+		for _, v := range w {
+			if v < floor-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: uniform sampling without replacement returns sorted-unique
+// sets covering only valid indices.
+func TestUniformWithoutReplacementProperty(t *testing.T) {
+	r := randx.New(13)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		k := int(kRaw % 120)
+		idx := UniformWithoutReplacement(r, n, k)
+		want := k
+		if want > n {
+			want = n
+		}
+		if k == 0 {
+			return idx == nil
+		}
+		if len(idx) != want {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range idx {
+			if i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

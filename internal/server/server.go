@@ -1,0 +1,223 @@
+// Package server exposes the SUPG engine over HTTP, turning the batch
+// query system of the paper's Section 4.1 into a small network service:
+// upload datasets (CSV or the binary interchange format), then submit
+// SUPG statements and receive the selected record ids with execution
+// statistics. All state is in-memory; the service is a front-end to
+// engine.Engine.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"supg/internal/dataset"
+	"supg/internal/engine"
+	"supg/internal/metrics"
+)
+
+// Server is an http.Handler serving the SUPG API:
+//
+//	GET  /healthz                      -> 200 "ok"
+//	GET  /v1/datasets                  -> JSON list of dataset summaries
+//	PUT  /v1/datasets/{name}           -> upload CSV (default) or binary
+//	                                      (Content-Type: application/octet-stream)
+//	POST /v1/query                     -> {"sql": "..."} -> query result
+type Server struct {
+	mu     sync.RWMutex
+	engine *engine.Engine
+	// summaries tracks uploads for the list endpoint; the engine holds
+	// the authoritative data.
+	summaries map[string]dataset.Summary
+	datasets  map[string]*dataset.Dataset
+	mux       *http.ServeMux
+}
+
+// New returns a server whose query randomness derives from seed.
+func New(seed uint64) *Server {
+	s := &Server{
+		engine:    engine.New(seed),
+		summaries: make(map[string]dataset.Summary),
+		datasets:  make(map[string]*dataset.Dataset),
+		mux:       http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("/v1/datasets/", s.handleUploadDataset)
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// RegisterDataset adds a dataset directly (used by cmd/supg-server to
+// preload data and by tests).
+func (s *Server) RegisterDataset(name string, d *dataset.Dataset) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.engine.RegisterDatasetDefaults(name, d)
+	s.summaries[name] = d.Summarize()
+	s.datasets[name] = d
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// DatasetInfo is the JSON shape of a dataset summary.
+type DatasetInfo struct {
+	Name      string  `json:"name"`
+	Records   int     `json:"records"`
+	Positives int     `json:"positives"`
+	TPR       float64 `json:"tpr"`
+	OracleUDF string  `json:"oracle_udf"`
+	ProxyUDF  string  `json:"proxy_udf"`
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.RLock()
+	infos := make([]DatasetInfo, 0, len(s.summaries))
+	for name, sum := range s.summaries {
+		infos = append(infos, DatasetInfo{
+			Name:      name,
+			Records:   sum.Records,
+			Positives: sum.Positives,
+			TPR:       sum.TPR,
+			OracleUDF: name + "_oracle",
+			ProxyUDF:  name + "_proxy",
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPut && r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use PUT or POST")
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/v1/datasets/")
+	if name == "" || strings.Contains(name, "/") {
+		httpError(w, http.StatusBadRequest, "dataset name must be a single path segment")
+		return
+	}
+	defer r.Body.Close()
+
+	var (
+		d   *dataset.Dataset
+		err error
+	)
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		d, err = dataset.ReadBinary(r.Body, name)
+	} else {
+		d, err = dataset.ReadCSV(r.Body, name)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.RegisterDataset(name, d)
+	sum := d.Summarize()
+	writeJSON(w, http.StatusCreated, DatasetInfo{
+		Name: name, Records: sum.Records, Positives: sum.Positives, TPR: sum.TPR,
+		OracleUDF: name + "_oracle", ProxyUDF: name + "_proxy",
+	})
+}
+
+// QueryRequest is the /v1/query input.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// IncludeIndices controls whether the (possibly large) id list is
+	// returned; statistics are always included.
+	IncludeIndices bool `json:"include_indices"`
+	// MaxIndices caps the returned id list (0 = no cap).
+	MaxIndices int `json:"max_indices"`
+}
+
+// QueryResponse is the /v1/query output.
+type QueryResponse struct {
+	Returned    int     `json:"returned"`
+	Tau         float64 `json:"tau"`
+	OracleCalls int     `json:"oracle_calls"`
+	ProxyCalls  int     `json:"proxy_calls"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	// Achieved metrics are computable here because uploaded datasets
+	// carry ground-truth labels (this is a simulation service).
+	AchievedPrecision float64 `json:"achieved_precision"`
+	AchievedRecall    float64 `json:"achieved_recall"`
+	Indices           []int   `json:"indices,omitempty"`
+	Truncated         bool    `json:"truncated,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		httpError(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+
+	res, err := s.engine.Execute(req.SQL)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	resp := QueryResponse{
+		Returned:    len(res.Indices),
+		Tau:         res.Tau,
+		OracleCalls: res.OracleCalls,
+		ProxyCalls:  res.ProxyCalls,
+		ElapsedMS:   float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	s.mu.RLock()
+	if d, ok := s.datasets[res.Plan.Table]; ok {
+		eval := metrics.Evaluate(d, res.Indices)
+		resp.AchievedPrecision = eval.Precision
+		resp.AchievedRecall = eval.Recall
+	}
+	s.mu.RUnlock()
+	if req.IncludeIndices {
+		resp.Indices = res.Indices
+		if req.MaxIndices > 0 && len(resp.Indices) > req.MaxIndices {
+			resp.Indices = resp.Indices[:req.MaxIndices]
+			resp.Truncated = true
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do than note it.
+		fmt.Printf("server: encoding response: %v\n", err)
+	}
+}

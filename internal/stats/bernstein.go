@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+
+	"supg/internal/dist"
+)
+
+// regIncBeta is the regularized incomplete beta function I_x(a, b).
+func regIncBeta(x, a, b float64) float64 { return dist.RegIncBeta(x, a, b) }
+
+// Empirical-Bernstein bounds (Maurer & Pontil, 2009). Unlike the
+// paper's Lemma 1 normal approximation these hold at finite sample
+// sizes with no asymptotics, while still adapting to the observed
+// variance (unlike Hoeffding). They are the backing for the library's
+// finite-sample extension of the SUPG estimators — the paper's
+// Section 8 lists finite-sample bounds as future work.
+//
+// For n i.i.d. observations confined to an interval of width R with
+// sample mean mu and sample variance v, with probability at least
+// 1 - delta:
+//
+//	population mean <= mu + sqrt(2 v ln(2/delta) / n) + 7 R ln(2/delta) / (3 (n-1))
+
+// BernsteinUB returns the one-sided empirical-Bernstein upper bound at
+// failure probability delta.
+func BernsteinUB(mu, sampleVar, rangeWidth float64, n int, delta float64) float64 {
+	return mu + bernsteinRadius(sampleVar, rangeWidth, n, delta)
+}
+
+// BernsteinLB returns the mirror lower bound.
+func BernsteinLB(mu, sampleVar, rangeWidth float64, n int, delta float64) float64 {
+	return mu - bernsteinRadius(sampleVar, rangeWidth, n, delta)
+}
+
+func bernsteinRadius(sampleVar, rangeWidth float64, n int, delta float64) float64 {
+	if n < 2 || delta <= 0 {
+		return math.Inf(1)
+	}
+	if delta >= 1 {
+		return 0
+	}
+	logTerm := math.Log(2 / delta)
+	return math.Sqrt(2*sampleVar*logTerm/float64(n)) +
+		7*rangeWidth*logTerm/(3*float64(n-1))
+}
+
+// BinomialCDF returns P(X <= k) for X ~ Binomial(n, p), computed
+// exactly through the regularized incomplete beta identity
+// P(X <= k) = I_{1-p}(n-k, k+1). It underpins the finite-sample
+// recall-threshold selection.
+func BinomialCDF(k, n int, p float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 0
+	}
+	return regIncBeta(1-p, float64(n-k), float64(k+1))
+}
+
+// BinomialTailQuantile returns the largest j in [0, k] such that
+// P(Binomial(k, p) <= j-1) <= delta, i.e. the most aggressive
+// order-statistic index whose lower tail stays within the failure
+// budget. It returns 0 when even j=1 overshoots (P(X = 0) > delta).
+func BinomialTailQuantile(k int, p, delta float64) int {
+	lo, hi := 0, k
+	// Invariant: BinomialCDF(lo-1) <= delta; find the largest such lo.
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if BinomialCDF(mid-1, k, p) <= delta {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

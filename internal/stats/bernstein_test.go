@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"supg/internal/randx"
+)
+
+func TestBernsteinSymmetry(t *testing.T) {
+	mu, v, r := 0.3, 0.04, 1.0
+	ub := BernsteinUB(mu, v, r, 200, 0.05)
+	lb := BernsteinLB(mu, v, r, 200, 0.05)
+	if !almostEqual(ub-mu, mu-lb, 1e-12) {
+		t.Error("Bernstein bounds not symmetric")
+	}
+	if ub <= mu {
+		t.Error("UB should exceed the mean")
+	}
+}
+
+func TestBernsteinVarianceAdaptive(t *testing.T) {
+	// Low variance should give a much tighter bound than Hoeffding.
+	mu, n, delta := 0.02, 1000, 0.05
+	v := mu * (1 - mu) // Bernoulli variance
+	bern := BernsteinUB(mu, v, 1, n, delta)
+	hoef := HoeffdingUB(mu, 1, n, delta)
+	if bern >= hoef {
+		t.Errorf("Bernstein %v should beat Hoeffding %v for rare events", bern, hoef)
+	}
+}
+
+func TestBernsteinWiderThanNormal(t *testing.T) {
+	// Finite-sample validity costs something relative to the CLT bound.
+	mu, sd, n, delta := 0.3, 0.458, 500, 0.05
+	bern := BernsteinUB(mu, sd*sd, 1, n, delta)
+	norm := UB(mu, sd, n, delta)
+	if bern <= norm {
+		t.Errorf("Bernstein %v should be at least as wide as normal %v", bern, norm)
+	}
+}
+
+func TestBernsteinDegenerate(t *testing.T) {
+	if !math.IsInf(BernsteinUB(0.5, 0.1, 1, 1, 0.05), 1) {
+		t.Error("n < 2 should give +Inf")
+	}
+	if !math.IsInf(BernsteinUB(0.5, 0.1, 1, 100, 0), 1) {
+		t.Error("delta = 0 should give +Inf")
+	}
+	if BernsteinUB(0.5, 0.1, 1, 100, 1) != 0.5 {
+		t.Error("delta = 1 should give zero radius")
+	}
+}
+
+func TestBernsteinCoverage(t *testing.T) {
+	// Finite-sample bound: the miss rate must stay below delta even at
+	// modest n.
+	r := randx.New(13)
+	const (
+		p      = 0.2
+		n      = 80
+		delta  = 0.1
+		trials = 1500
+	)
+	misses := 0
+	for trial := 0; trial < trials; trial++ {
+		rt := r.Stream(uint64(trial))
+		var m Moments
+		for i := 0; i < n; i++ {
+			if rt.Bernoulli(p) {
+				m.Add(1)
+			} else {
+				m.Add(0)
+			}
+		}
+		if BernsteinUB(m.Mean(), m.Variance(), 1, n, delta) < p {
+			misses++
+		}
+	}
+	if rate := float64(misses) / float64(trials); rate > delta {
+		t.Fatalf("Bernstein miss rate %v exceeds delta %v", rate, delta)
+	}
+}
+
+func TestBinomialCDFKnownValues(t *testing.T) {
+	// Binomial(10, 0.5): P(X <= 5) = 0.623046875.
+	if got := BinomialCDF(5, 10, 0.5); !almostEqual(got, 0.623046875, 1e-9) {
+		t.Errorf("BinomialCDF(5,10,0.5) = %v", got)
+	}
+	// P(X <= 0) = 0.5^10.
+	if got := BinomialCDF(0, 10, 0.5); !almostEqual(got, math.Pow(0.5, 10), 1e-12) {
+		t.Errorf("BinomialCDF(0,10,0.5) = %v", got)
+	}
+	// Binomial(20, 0.1): P(X <= 2) = 0.676927...
+	if got := BinomialCDF(2, 20, 0.1); !almostEqual(got, 0.6769268, 1e-6) {
+		t.Errorf("BinomialCDF(2,20,0.1) = %v", got)
+	}
+}
+
+func TestBinomialCDFEdges(t *testing.T) {
+	if BinomialCDF(-1, 10, 0.5) != 0 {
+		t.Error("k<0")
+	}
+	if BinomialCDF(10, 10, 0.5) != 1 {
+		t.Error("k=n")
+	}
+	if BinomialCDF(3, 10, 0) != 1 {
+		t.Error("p=0")
+	}
+	if BinomialCDF(3, 10, 1) != 0 {
+		t.Error("p=1")
+	}
+}
+
+func TestBinomialCDFMonotone(t *testing.T) {
+	prev := 0.0
+	for k := 0; k <= 30; k++ {
+		cur := BinomialCDF(k, 30, 0.3)
+		if cur < prev-1e-12 {
+			t.Fatalf("CDF decreased at k=%d", k)
+		}
+		prev = cur
+	}
+}
+
+func TestBinomialTailQuantile(t *testing.T) {
+	// k=30 positives, p=0.1 (gamma=0.9), delta=0.05: the largest j with
+	// P(Bin(30,0.1) <= j-1) <= 0.05. P(X=0)=0.9^30=0.0424 <= 0.05;
+	// P(X<=1)=0.1837 > 0.05 -> j=1.
+	if got := BinomialTailQuantile(30, 0.1, 0.05); got != 1 {
+		t.Errorf("BinomialTailQuantile(30,0.1,0.05) = %d, want 1", got)
+	}
+	// Too few positives: P(X=0) = 0.9^10 = 0.349 > 0.05 -> j=0.
+	if got := BinomialTailQuantile(10, 0.1, 0.05); got != 0 {
+		t.Errorf("BinomialTailQuantile(10,0.1,0.05) = %d, want 0", got)
+	}
+	// Plenty of positives: j grows.
+	big := BinomialTailQuantile(1000, 0.1, 0.05)
+	if big < 70 || big > 100 {
+		t.Errorf("BinomialTailQuantile(1000,0.1,0.05) = %d, want ~85", big)
+	}
+	// Verify the defining property exactly.
+	if BinomialCDF(big-1, 1000, 0.1) > 0.05 {
+		t.Error("returned j violates the tail constraint")
+	}
+	if big < 1000 && BinomialCDF(big, 1000, 0.1) <= 0.05 {
+		t.Error("returned j is not maximal")
+	}
+}
