@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any tracked Go file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test ./internal/engine -bench SelectHotPath -benchmem -run '^$$'
+	$(GO) test . -bench . -run '^$$'

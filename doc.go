@@ -45,4 +45,25 @@
 // are available through WithMethod for comparison, and the
 // confidence-interval construction, weight exponent, mixing ratio and
 // candidate stride are all tunable through Options.
+//
+// # Performance architecture
+//
+// The proxy is cheap but the dataset is large, so everything derived
+// from the score column is computed once and reused. The first query
+// of a registered (table, proxy) pair evaluates the proxy over all n
+// records and builds an immutable ScoreIndex (internal/index): the
+// validated score vector, an ascending permutation of record ids by
+// score, and a cache of defensive-mixture alias tables keyed by
+// (weight exponent, mixing ratio). Every later query — including
+// concurrent queries of the same table — runs against that shared
+// index: threshold counts are binary searches, the selected suffix
+// {x : A(x) >= tau} is extracted presorted, sampled positives are
+// folded in with a single merge, and weighted draws come from the
+// cached alias table. Steady-state query cost is therefore
+// O(oracle budget + |result|) with a handful of allocations, instead
+// of the O(n log n) time and O(n) allocations per query of a
+// re-scanning implementation; see README.md for measured numbers.
+//
+// The one-shot supg.Run path computes the same artifacts lazily per
+// call and returns bit-identical results for the same seed.
 package supg

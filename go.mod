@@ -1,0 +1,3 @@
+module supg
+
+go 1.22

@@ -6,21 +6,22 @@ import (
 
 	"supg/internal/oracle"
 	"supg/internal/randx"
-	"supg/internal/sampling"
 )
 
 // This file implements the SUPG importance-sampling estimators:
 // Algorithm 4 (IS-CI-R) and Algorithm 5 (IS-CI-P, two-stage) plus the
 // one-stage precision variant evaluated in Figure 7. Sampling weights
 // are proxy scores raised to cfg.WeightExponent (paper optimum: 0.5,
-// Theorem 1) defensively mixed with the uniform distribution.
+// Theorem 1) defensively mixed with the uniform distribution; the
+// weights and their alias table come from the ScoreSource, which caches
+// them per (exponent, mix) on the indexed hot path.
 
 // estimateISRecall implements Algorithm 4. It reuses the Algorithm 2
 // body on an importance-weighted sample: the reweighted indicators
 // O(x)·m(x) make the UB/LB machinery estimate dataset-level recall.
-func estimateISRecall(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
-	weights := sampling.DefensiveWeights(scores, cfg.WeightExponent, cfg.Mix)
-	s, err := drawWeighted(r, scores, weights, o, spec.Budget)
+func estimateISRecall(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+	weights, alias := src.Mixture(cfg.WeightExponent, cfg.Mix)
+	s, err := drawWeightedAlias(r, src.Scores(), weights, alias, o, spec.Budget)
 	if err != nil {
 		return TauResult{}, err
 	}
@@ -33,7 +34,8 @@ func estimateISRecall(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec 
 }
 
 // scoreIndex supports O(log n) exact |D(τ)| counts via a sorted copy of
-// the proxy-score column.
+// the proxy-score column. It backs rawSource for one-shot queries; the
+// engine path uses the persistent index.ScoreIndex instead.
 type scoreIndex struct {
 	sorted []float64
 }
@@ -71,35 +73,34 @@ func (ix *scoreIndex) kthHighest(k int) float64 {
 // importance sampling and divide by the exactly known |D(τ)|. This
 // keeps the estimator unbiased under weighted sampling, whereas the
 // plain subset-mean of Algorithm 3 is only unbiased for uniform draws.
-func estimateISPrecision(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+func estimateISPrecision(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
 	if cfg.TwoStage {
-		return estimateISPrecisionTwoStage(r, scores, o, spec, cfg)
+		return estimateISPrecisionTwoStage(r, src, o, spec, cfg)
 	}
-	return estimateISPrecisionOneStage(r, scores, o, spec, cfg)
+	return estimateISPrecisionOneStage(r, src, o, spec, cfg)
 }
 
-func estimateISPrecisionOneStage(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
-	weights := sampling.DefensiveWeights(scores, cfg.WeightExponent, cfg.Mix)
-	s, err := drawWeighted(r, scores, weights, o, spec.Budget)
+func estimateISPrecisionOneStage(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+	weights, alias := src.Mixture(cfg.WeightExponent, cfg.Mix)
+	s, err := drawWeightedAlias(r, src.Scores(), weights, alias, o, spec.Budget)
 	if err != nil {
 		return TauResult{}, err
 	}
 	b := newBounder(cfg, r.Stream(0xc1))
-	ix := newScoreIndex(scores)
-	tau := certifyMinPrecisionTau(s, ix, float64(len(scores)), spec, cfg, b, spec.Delta)
+	tau := certifyMinPrecisionTau(s, src, float64(src.Len()), spec, cfg, b, spec.Delta)
 	return TauResult{Tau: tau, Labeled: s.labels, OracleCalls: s.calls}, nil
 }
 
-func estimateISPrecisionTwoStage(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+func estimateISPrecisionTwoStage(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+	scores := src.Scores()
 	n := len(scores)
-	weights := sampling.DefensiveWeights(scores, cfg.WeightExponent, cfg.Mix)
+	weights, alias := src.Mixture(cfg.WeightExponent, cfg.Mix)
 	b := newBounder(cfg, r.Stream(0xc2))
-	ix := newScoreIndex(scores)
 
 	// Stage 1: estimate an upper bound on the number of matches with
 	// half the budget, spending half the failure probability.
 	half := spec.Budget / 2
-	s0, err := drawWeighted(r.Stream(1), scores, weights, o, half)
+	s0, err := drawWeightedAlias(r.Stream(1), scores, weights, alias, o, half)
 	if err != nil {
 		return TauResult{}, err
 	}
@@ -115,13 +116,8 @@ func estimateISPrecisionTwoStage(r *randx.Rand, scores []float64, o *oracle.Budg
 	// Restrict stage 2 to D' — the records whose score is at least the
 	// (nMatch/γ)-th highest: no lower threshold can reach precision γ.
 	cut := int(nMatchUB / spec.Gamma)
-	aCut := ix.kthHighest(cut)
-	var subset []int
-	for i, sc := range scores {
-		if sc >= aCut {
-			subset = append(subset, i)
-		}
-	}
+	aCut := src.KthHighest(cut)
+	subset := src.AppendAtLeast(make([]int, 0, src.CountAtLeast(aCut)), aCut)
 	if len(subset) == 0 {
 		// Degenerate: no plausible matches anywhere.
 		return TauResult{Tau: noSelectionTau(), Labeled: s0.labels, OracleCalls: s0.calls}, nil
@@ -133,7 +129,7 @@ func estimateISPrecisionTwoStage(r *randx.Rand, scores []float64, o *oracle.Budg
 	if err != nil {
 		return TauResult{}, err
 	}
-	tau := certifyMinPrecisionTau(s1, ix, float64(len(subset)), spec, cfg, b, spec.Delta/2)
+	tau := certifyMinPrecisionTau(s1, src, float64(len(subset)), spec, cfg, b, spec.Delta/2)
 
 	labels := make(map[int]bool, len(s0.labels)+len(s1.labels))
 	for k, v := range s0.labels {
@@ -150,7 +146,7 @@ func estimateISPrecisionTwoStage(r *randx.Rand, scores []float64, o *oracle.Budg
 // certified above gamma with the given total failure probability split
 // across candidates by union bound. domainSize is the number of records
 // the sample's m(x) factors normalize over (|D| or |D'|).
-func certifyMinPrecisionTau(s *labeledSample, ix *scoreIndex, domainSize float64, spec Spec, cfg Config, b bounder, delta float64) float64 {
+func certifyMinPrecisionTau(s *labeledSample, src ScoreSource, domainSize float64, spec Spec, cfg Config, b bounder, delta float64) float64 {
 	n := s.len()
 	numCandidates := n / cfg.MinStep
 	if numCandidates < 1 {
@@ -175,7 +171,7 @@ func certifyMinPrecisionTau(s *labeledSample, ix *scoreIndex, domainSize float64
 			}
 		}
 		posLB := domainSize * b.lower(y, deltaEach, rangeHint)
-		sel := ix.countAtLeast(cand)
+		sel := src.CountAtLeast(cand)
 		if sel == 0 {
 			continue
 		}

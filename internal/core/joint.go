@@ -62,6 +62,11 @@ type JointResult struct {
 // guarantee carries over from stage 2 and precision is 1 (>= any
 // GammaPrecision). The oracle is unbudgeted by JT semantics.
 func SelectJoint(r *randx.Rand, scores []float64, orc oracle.Oracle, spec JointSpec, cfg Config) (JointResult, error) {
+	return SelectJointFrom(r, newRawSource(scores), orc, spec, cfg)
+}
+
+// SelectJointFrom is SelectJoint over any ScoreSource (see SelectFrom).
+func SelectJointFrom(r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec JointSpec, cfg Config) (JointResult, error) {
 	if err := spec.Validate(); err != nil {
 		return JointResult{}, err
 	}
@@ -77,14 +82,14 @@ func SelectJoint(r *randx.Rand, scores []float64, orc oracle.Oracle, spec JointS
 	budgeted := oracle.NewBudgeted(orc, math.MaxInt/2)
 	stageBudgeted := oracle.NewBudgeted(budgeted, spec.StageBudget)
 
-	tr, err := EstimateTau(r, scores, stageBudgeted, rtSpec, cfg)
+	tr, err := EstimateTauFrom(r, src, stageBudgeted, rtSpec, cfg)
 	if err != nil {
 		if err != ErrNoPositives {
 			return JointResult{}, err
 		}
 		tr.Tau = selectAllTau // recall-safe fallback: verify everything
 	}
-	candidate := assemble(scores, tr)
+	candidate := assembleFrom(src, tr)
 
 	// Stage 3: verify every candidate record; keep true positives.
 	var final []int

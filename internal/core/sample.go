@@ -36,15 +36,24 @@ func drawUniform(r *randx.Rand, scores []float64, o *oracle.Budgeted, k int) (*l
 
 // drawWeighted collects k with-replacement draws from the defensive
 // mixture over the given weights (already normalized to sum 1), with
-// m(x) = (1/n) / w(x).
+// m(x) = (1/n) / w(x). It builds a fresh alias table; hot paths with a
+// cached table use drawWeightedAlias instead.
 func drawWeighted(r *randx.Rand, scores []float64, weights []float64, o *oracle.Budgeted, k int) (*labeledSample, error) {
+	return drawWeightedAlias(r, scores, weights, sampling.NewAlias(weights), o, k)
+}
+
+// drawWeightedAlias is drawWeighted with a prebuilt alias table for the
+// same weights (from ScoreSource.Mixture). Draw sequences are identical
+// to drawWeighted's for the same random stream, since an alias table is
+// a deterministic function of its weights.
+func drawWeightedAlias(r *randx.Rand, scores []float64, weights []float64, alias *sampling.Alias, o *oracle.Budgeted, k int) (*labeledSample, error) {
 	if len(weights) != len(scores) {
 		return nil, fmt.Errorf("core: %d weights for %d scores", len(weights), len(scores))
 	}
-	idx := sampling.WeightedWithReplacement(r, weights, k)
-	if idx == nil {
+	if alias == nil || k <= 0 {
 		return nil, fmt.Errorf("core: weighted sampling produced no draws")
 	}
+	idx := alias.DrawN(r, k)
 	u := 1.0 / float64(len(scores))
 	m := make([]float64, len(idx))
 	for i, j := range idx {

@@ -4,66 +4,81 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"supg/internal/oracle"
 	"supg/internal/randx"
 )
 
 // EstimateTau dispatches to the configured threshold-estimation
-// algorithm (the SampleOracle + EstimateTau stages of Algorithm 1).
-// The oracle must already be budget-wrapped; estimators never exceed
-// spec.Budget draws.
+// algorithm (the SampleOracle + EstimateTau stages of Algorithm 1) over
+// a plain score slice. The oracle must already be budget-wrapped;
+// estimators never exceed spec.Budget draws.
 func EstimateTau(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+	return EstimateTauFrom(r, newRawSource(scores), o, spec, cfg)
+}
+
+// EstimateTauFrom is EstimateTau over any ScoreSource. Passing a
+// prebuilt index.ScoreIndex amortizes sorting and sampling-structure
+// construction across queries; results are identical to the raw-slice
+// path for the same random stream.
+func EstimateTauFrom(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
 	if err := spec.Validate(); err != nil {
 		return TauResult{}, err
 	}
-	if len(scores) == 0 {
+	if src.Len() == 0 {
 		return TauResult{}, fmt.Errorf("core: empty dataset")
 	}
 	cfg = cfg.normalize()
 
 	if cfg.FiniteSample {
 		if spec.Kind == RecallTarget {
-			return estimateFiniteRecall(r, scores, o, spec)
+			return estimateFiniteRecall(r, src, o, spec)
 		}
 		// Precision targets: Algorithm 3 with exact Clopper-Pearson
 		// certificates is finite-sample valid under uniform sampling.
 		cfg.Method = MethodUCI
 		cfg.Bound = BoundClopperPearson
-		return estimateUCIPrecision(r, scores, o, spec, cfg)
+		return estimateUCIPrecision(r, src, o, spec, cfg)
 	}
 
 	switch cfg.Method {
 	case MethodUNoCI:
 		if spec.Kind == RecallTarget {
-			return estimateUNoCIRecall(r, scores, o, spec)
+			return estimateUNoCIRecall(r, src, o, spec)
 		}
-		return estimateUNoCIPrecision(r, scores, o, spec)
+		return estimateUNoCIPrecision(r, src, o, spec)
 	case MethodUCI:
 		if spec.Kind == RecallTarget {
-			return estimateUCIRecall(r, scores, o, spec, cfg)
+			return estimateUCIRecall(r, src, o, spec, cfg)
 		}
-		return estimateUCIPrecision(r, scores, o, spec, cfg)
+		return estimateUCIPrecision(r, src, o, spec, cfg)
 	case MethodISCI:
 		if spec.Kind == RecallTarget {
-			return estimateISRecall(r, scores, o, spec, cfg)
+			return estimateISRecall(r, src, o, spec, cfg)
 		}
-		return estimateISPrecision(r, scores, o, spec, cfg)
+		return estimateISPrecision(r, src, o, spec, cfg)
 	}
 	return TauResult{}, fmt.Errorf("core: unknown method %v", cfg.Method)
 }
 
-// Select answers a SUPG query end to end (Algorithm 1): it wraps the
-// oracle with the budget, estimates tau, and returns
-// R = R1 ∪ R2 = {labeled positives} ∪ {x : A(x) >= tau}.
+// Select answers a SUPG query end to end (Algorithm 1) over a plain
+// score slice: it wraps the oracle with the budget, estimates tau, and
+// returns R = R1 ∪ R2 = {labeled positives} ∪ {x : A(x) >= tau}.
 //
 // For recall-target queries whose sample surfaces no positives, the
 // only recall-safe answer is the full dataset, which Select returns
 // (the query stays valid; its quality is the degenerate minimum).
 func Select(r *randx.Rand, scores []float64, orc oracle.Oracle, spec Spec, cfg Config) (Result, error) {
+	return SelectFrom(r, newRawSource(scores), orc, spec, cfg)
+}
+
+// SelectFrom is Select over any ScoreSource — the entry point of the
+// indexed hot path. For a fixed random stream it returns exactly the
+// records the raw-slice path returns.
+func SelectFrom(r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec Spec, cfg Config) (Result, error) {
 	budgeted := oracle.NewBudgeted(orc, spec.Budget)
-	tr, err := EstimateTau(r, scores, budgeted, spec, cfg)
+	tr, err := EstimateTauFrom(r, src, budgeted, spec, cfg)
 	if err != nil && !errors.Is(err, ErrNoPositives) {
 		return Result{}, err
 	}
@@ -72,37 +87,71 @@ func Select(r *randx.Rand, scores []float64, orc oracle.Oracle, spec Spec, cfg C
 		// empty R1) is the valid PT answer.
 		tr.Tau = noSelectionTau()
 	}
-	return assemble(scores, tr), nil
+	return assembleFrom(src, tr), nil
 }
 
-// assemble constructs Algorithm 1's R1 ∪ R2 from a threshold estimate.
+// assemble constructs Algorithm 1's R1 ∪ R2 from a threshold estimate
+// over a plain score slice.
 func assemble(scores []float64, tr TauResult) Result {
-	include := make(map[int]struct{})
-	fromSample := 0
+	return assembleFrom(newRawSource(scores), tr)
+}
+
+// assembleFrom merges the presorted threshold suffix R2 with the
+// (tiny, sorted) list of labeled positives R1. Unlike the historical
+// map-plus-full-sort construction this allocates only the result slice
+// and the positive list: R2 arrives in ascending id order from the
+// source, and the R1 records below the threshold are folded in with a
+// single backward merge.
+func assembleFrom(src ScoreSource, tr TauResult) Result {
+	scores := src.Scores()
+
+	// R1: labeled positives, ascending by id.
+	pos := make([]int, 0, len(tr.Labeled))
 	for i, lab := range tr.Labeled {
 		if lab {
-			include[i] = struct{}{}
-			fromSample++
+			pos = append(pos, i)
 		}
 	}
-	if !math.IsInf(tr.Tau, 1) {
-		for i, s := range scores {
-			if s >= tr.Tau {
-				include[i] = struct{}{}
-			}
-		}
-	}
-	out := make([]int, 0, len(include))
-	for i := range include {
-		out = append(out, i)
-	}
-	sort.Ints(out)
+	slices.Sort(pos)
 
-	// Count how many returned records came only from labeling.
-	onlySample := 0
-	for i, lab := range tr.Labeled {
-		if lab && (math.IsInf(tr.Tau, 1) || scores[i] < tr.Tau) {
-			onlySample++
+	noThreshold := math.IsInf(tr.Tau, 1)
+
+	// Keep only the positives the threshold does not already cover —
+	// these are also exactly the "sampled only" records reported in
+	// Result.SampledPositives.
+	extra := pos[:0]
+	for _, i := range pos {
+		if noThreshold || !(scores[i] >= tr.Tau) {
+			extra = append(extra, i)
+		}
+	}
+
+	if noThreshold {
+		return Result{
+			Indices:          extra,
+			Tau:              tr.Tau,
+			OracleCalls:      tr.OracleCalls,
+			SampledPositives: len(extra),
+		}
+	}
+
+	out := make([]int, 0, src.CountAtLeast(tr.Tau)+len(extra))
+	out = src.AppendAtLeast(out, tr.Tau)
+	k := len(out)
+	onlySample := len(extra)
+	if onlySample > 0 {
+		// Backward merge of the two ascending runs; extra does not
+		// alias out, so overwriting out from the tail is safe.
+		out = append(out, extra...)
+		i, j := k-1, onlySample-1
+		for w := len(out) - 1; j >= 0; w-- {
+			if i >= 0 && out[i] > extra[j] {
+				out[w] = out[i]
+				i--
+			} else {
+				out[w] = extra[j]
+				j--
+			}
 		}
 	}
 	return Result{

@@ -14,8 +14,8 @@ import (
 // threshold for the requested recall, inflates the recall target to γ'
 // to absorb sampling variation (via UB/LB on the above/below-threshold
 // positive indicator means), and re-solves for the threshold at γ'.
-func estimateUCIRecall(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
-	s, err := drawUniform(r, scores, o, spec.Budget)
+func estimateUCIRecall(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+	s, err := drawUniform(r, src.Scores(), o, spec.Budget)
 	if err != nil {
 		return TauResult{}, err
 	}
@@ -115,8 +115,8 @@ func recallThresholdWithCI(s *labeledSample, spec Spec, b bounder) (float64, err
 // reading is the one consistent with the paper's minimum step size m
 // and its observation that the normal approximation needs 100+
 // samples.)
-func estimateUCIPrecision(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
-	s, err := drawUniform(r, scores, o, spec.Budget)
+func estimateUCIPrecision(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+	s, err := drawUniform(r, src.Scores(), o, spec.Budget)
 	if err != nil {
 		return TauResult{}, err
 	}

@@ -12,8 +12,8 @@ import (
 // to ~75% of the time.
 
 // estimateUNoCIRecall implements Eq. 6: tau = max{τ : Recall_S(τ) >= γ}.
-func estimateUNoCIRecall(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec) (TauResult, error) {
-	s, err := drawUniform(r, scores, o, spec.Budget)
+func estimateUNoCIRecall(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec) (TauResult, error) {
+	s, err := drawUniform(r, src.Scores(), o, spec.Budget)
 	if err != nil {
 		return TauResult{}, err
 	}
@@ -27,8 +27,8 @@ func estimateUNoCIRecall(r *randx.Rand, scores []float64, o *oracle.Budgeted, sp
 // estimateUNoCIPrecision implements Eq. 5: tau = min{τ : Precision_S(τ) >= γ},
 // with Precision_S the empirical precision among sampled records at or
 // above τ.
-func estimateUNoCIPrecision(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec) (TauResult, error) {
-	s, err := drawUniform(r, scores, o, spec.Budget)
+func estimateUNoCIPrecision(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec) (TauResult, error) {
+	s, err := drawUniform(r, src.Scores(), o, spec.Budget)
 	if err != nil {
 		return TauResult{}, err
 	}

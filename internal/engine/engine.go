@@ -4,6 +4,13 @@
 // the user supplies the oracle and proxy as callbacks, the proxy is
 // evaluated over the complete dataset up front (it is cheap), and the
 // oracle is sampled under the budget.
+//
+// The proxy scan and everything derived from it are amortized across
+// queries: the first query of a (table, proxy) pair evaluates the proxy
+// over all records and builds an immutable index.ScoreIndex (validated
+// scores, sorted permutation, cached sampling structures); subsequent
+// queries — including concurrent ones — reuse it, so their cost is
+// O(oracle budget + |result|) rather than O(n log n) per query.
 package engine
 
 import (
@@ -15,6 +22,7 @@ import (
 
 	"supg/internal/core"
 	"supg/internal/dataset"
+	"supg/internal/index"
 	"supg/internal/oracle"
 	"supg/internal/query"
 	"supg/internal/randx"
@@ -27,12 +35,37 @@ type OracleUDF func(record int) (bool, error)
 // be in [0, 1].
 type ProxyUDF func(record int) float64
 
-// Engine holds the catalog of tables and the UDF registry.
+// indexKey identifies one cached per-table proxy index.
+type indexKey struct {
+	table string
+	proxy string
+}
+
+// indexEntry is a lazily-built, shared ScoreIndex. The sync.Once makes
+// concurrent first queries of the same (table, proxy) pair build the
+// index exactly once while the others wait for it. The table and proxy
+// are snapshotted under the same lock that publishes the entry into the
+// cache, so an entry can never be built from registrations older than
+// the ones its cache slot represents (a later re-registration deletes
+// the slot, and the next query snapshots fresh state).
+type indexEntry struct {
+	table *dataset.Dataset
+	proxy ProxyUDF
+
+	once    sync.Once
+	ix      *index.ScoreIndex
+	err     error
+	elapsed time.Duration // wall time of the proxy scan + index build
+}
+
+// Engine holds the catalog of tables, the UDF registry, and the cache
+// of per-(table, proxy) score indexes.
 type Engine struct {
 	mu      sync.RWMutex
 	tables  map[string]*dataset.Dataset
 	oracles map[string]OracleUDF
 	proxies map[string]ProxyUDF
+	indexes map[indexKey]*indexEntry
 	seed    uint64
 }
 
@@ -42,15 +75,22 @@ func New(seed uint64) *Engine {
 		tables:  make(map[string]*dataset.Dataset),
 		oracles: make(map[string]OracleUDF),
 		proxies: make(map[string]ProxyUDF),
+		indexes: make(map[indexKey]*indexEntry),
 		seed:    seed,
 	}
 }
 
-// RegisterTable adds a dataset under the given table name.
+// RegisterTable adds a dataset under the given table name, invalidating
+// any cached indexes built over a previous registration of the name.
 func (e *Engine) RegisterTable(name string, d *dataset.Dataset) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.tables[name] = d
+	for k := range e.indexes {
+		if k.table == name {
+			delete(e.indexes, k)
+		}
+	}
 }
 
 // RegisterOracle adds an oracle UDF under the given function name.
@@ -60,11 +100,17 @@ func (e *Engine) RegisterOracle(name string, fn OracleUDF) {
 	e.oracles[name] = fn
 }
 
-// RegisterProxy adds a proxy UDF under the given function name.
+// RegisterProxy adds a proxy UDF under the given function name,
+// invalidating any cached indexes built from a previous registration.
 func (e *Engine) RegisterProxy(name string, fn ProxyUDF) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.proxies[name] = fn
+	for k := range e.indexes {
+		if k.proxy == name {
+			delete(e.indexes, k)
+		}
+	}
 }
 
 // RegisterDatasetDefaults registers table name plus "<name>_oracle" and
@@ -89,11 +135,17 @@ type QueryResult struct {
 	Tau float64
 	// OracleCalls counts budget-consuming oracle invocations.
 	OracleCalls int
-	// ProxyCalls counts proxy evaluations (|D| by design).
+	// ProxyCalls counts proxy evaluations performed by this query: |D|
+	// when the query built the table's score index, 0 when a cached
+	// index was reused.
 	ProxyCalls int
+	// IndexBuilt reports whether this query performed the proxy scan
+	// and index construction (the first query of a table/proxy pair).
+	IndexBuilt bool
 	// Elapsed covers planning through result assembly.
 	Elapsed time.Duration
-	// ProxyElapsed covers the upfront proxy scan.
+	// ProxyElapsed covers the upfront proxy scan and index build when
+	// this query performed it (see IndexBuilt).
 	ProxyElapsed time.Duration
 	// Plan echoes the executed plan.
 	Plan *query.Plan
@@ -115,9 +167,9 @@ func (e *Engine) Execute(sql string) (*QueryResult, error) {
 // ExecutePlan runs an already-built plan.
 func (e *Engine) ExecutePlan(plan *query.Plan) (*QueryResult, error) {
 	e.mu.RLock()
-	table, okT := e.tables[plan.Table]
+	_, okT := e.tables[plan.Table]
 	oracleFn, okO := e.oracles[plan.OracleUDF]
-	proxyFn, okP := e.proxies[plan.ProxyUDF]
+	_, okP := e.proxies[plan.ProxyUDF]
 	seed := e.seed
 	e.mu.RUnlock()
 
@@ -132,21 +184,24 @@ func (e *Engine) ExecutePlan(plan *query.Plan) (*QueryResult, error) {
 	}
 
 	start := time.Now()
-	// Stage 1 (§4.1): run the proxy over the complete set of records.
-	scores, proxyElapsed := scoreAll(proxyFn, table.Len())
-	for i, s := range scores {
-		if s < 0 || s > 1 || s != s {
-			return nil, fmt.Errorf("engine: proxy %q returned score %g for record %d, outside [0,1]", plan.ProxyUDF, s, i)
-		}
+	// Stage 1 (§4.1): the proxy scan over the complete set of records,
+	// performed once per (table, proxy) registration and indexed.
+	entry, built, err := e.tableIndex(plan)
+	if err != nil {
+		return nil, err
 	}
 
 	rng := randx.New(seed).Stream(hashString(plan.SourceText))
 	orc := oracle.Func(oracleFn)
 
-	res := &QueryResult{ProxyCalls: table.Len(), ProxyElapsed: proxyElapsed, Plan: plan}
+	res := &QueryResult{Plan: plan, IndexBuilt: built}
+	if built {
+		res.ProxyCalls = entry.ix.Len()
+		res.ProxyElapsed = entry.elapsed
+	}
 	switch plan.Kind {
 	case query.PlanBudgeted:
-		sel, err := core.Select(rng, scores, orc, plan.Spec, plan.Config)
+		sel, err := core.SelectFrom(rng, entry.ix, orc, plan.Spec, plan.Config)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +209,7 @@ func (e *Engine) ExecutePlan(plan *query.Plan) (*QueryResult, error) {
 		res.Tau = sel.Tau
 		res.OracleCalls = sel.OracleCalls
 	case query.PlanJoint:
-		sel, err := core.SelectJoint(rng, scores, orc, plan.JointSpec, plan.Config)
+		sel, err := core.SelectJointFrom(rng, entry.ix, orc, plan.JointSpec, plan.Config)
 		if err != nil {
 			return nil, err
 		}
@@ -168,9 +223,58 @@ func (e *Engine) ExecutePlan(plan *query.Plan) (*QueryResult, error) {
 	return res, nil
 }
 
+// tableIndex returns the shared ScoreIndex for the plan's (table,
+// proxy) pair, building it on first use. The second return reports
+// whether this call performed the build. The current table and proxy
+// registrations are captured under the write lock that publishes the
+// entry, so a concurrent re-registration either deletes the slot
+// before publication (the build sees the new state) or after (the
+// slot is gone and the next query snapshots afresh) — a cached index
+// can never outlive the registrations it was built from. A build
+// error is cached with the entry — the proxy is deterministic by
+// contract, so retrying cannot succeed until the table or proxy is
+// re-registered (which drops the entry).
+func (e *Engine) tableIndex(plan *query.Plan) (*indexEntry, bool, error) {
+	key := indexKey{table: plan.Table, proxy: plan.ProxyUDF}
+	e.mu.RLock()
+	entry := e.indexes[key]
+	e.mu.RUnlock()
+	if entry == nil {
+		e.mu.Lock()
+		entry = e.indexes[key]
+		if entry == nil {
+			table, okT := e.tables[plan.Table]
+			proxyFn, okP := e.proxies[plan.ProxyUDF]
+			if !okT || !okP {
+				e.mu.Unlock()
+				return nil, false, fmt.Errorf("engine: table %q / proxy %q no longer registered", plan.Table, plan.ProxyUDF)
+			}
+			entry = &indexEntry{table: table, proxy: proxyFn}
+			e.indexes[key] = entry
+		}
+		e.mu.Unlock()
+	}
+	built := false
+	entry.once.Do(func() {
+		built = true
+		buildStart := time.Now()
+		scores := scoreAll(entry.proxy, entry.table.Len())
+		ix, err := index.New(scores)
+		if err != nil {
+			entry.err = fmt.Errorf("engine: proxy %q: %w", plan.ProxyUDF, err)
+			return
+		}
+		entry.ix = ix
+		entry.elapsed = time.Since(buildStart)
+	})
+	if entry.err != nil {
+		return nil, built, entry.err
+	}
+	return entry, built, nil
+}
+
 // scoreAll evaluates the proxy over all records, in parallel shards.
-func scoreAll(proxyFn ProxyUDF, n int) ([]float64, time.Duration) {
-	start := time.Now()
+func scoreAll(proxyFn ProxyUDF, n int) []float64 {
 	scores := make([]float64, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -196,10 +300,12 @@ func scoreAll(proxyFn ProxyUDF, n int) ([]float64, time.Duration) {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return scores, time.Since(start)
+	return scores
 }
 
 func (e *Engine) tableNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	names := make([]string, 0, len(e.tables))
 	for n := range e.tables {
 		names = append(names, n)

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"supg/internal/dataset"
+	"supg/internal/query"
+	"supg/internal/randx"
+)
+
+// TestIndexCachedAcrossQueries verifies the amortization contract: the
+// first query of a (table, proxy) pair pays the proxy scan, later
+// queries reuse the index and report zero proxy evaluations.
+func TestIndexCachedAcrossQueries(t *testing.T) {
+	d := dataset.Beta(randx.New(6), 20000, 0.01, 2)
+	e := New(1)
+	e.RegisterTable("t", d)
+	e.RegisterOracle("o", func(i int) (bool, error) { return d.TrueLabel(i), nil })
+	proxyCalls := 0
+	var mu sync.Mutex
+	e.RegisterProxy("p", func(i int) float64 {
+		mu.Lock()
+		proxyCalls++
+		mu.Unlock()
+		return d.Score(i)
+	})
+	const sql = `SELECT * FROM t WHERE o(x) ORACLE LIMIT 500 USING p(x) RECALL TARGET 90% WITH PROBABILITY 95%`
+
+	first, err := e.Execute(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.IndexBuilt || first.ProxyCalls != d.Len() {
+		t.Fatalf("first query: IndexBuilt=%v ProxyCalls=%d, want build with %d calls", first.IndexBuilt, first.ProxyCalls, d.Len())
+	}
+	if proxyCalls != d.Len() {
+		t.Fatalf("proxy UDF invoked %d times, want %d", proxyCalls, d.Len())
+	}
+
+	second, err := e.Execute(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.IndexBuilt || second.ProxyCalls != 0 {
+		t.Fatalf("second query: IndexBuilt=%v ProxyCalls=%d, want cache hit", second.IndexBuilt, second.ProxyCalls)
+	}
+	if proxyCalls != d.Len() {
+		t.Fatalf("cache hit re-ran the proxy: %d total calls", proxyCalls)
+	}
+	if first.Tau != second.Tau || len(first.Indices) != len(second.Indices) {
+		t.Fatal("cached index changed the query answer")
+	}
+}
+
+// TestIndexInvalidatedOnReregistration: re-registering the table or the
+// proxy must drop the cached index so stale scores are never served.
+func TestIndexInvalidatedOnReregistration(t *testing.T) {
+	d := dataset.Beta(randx.New(7), 5000, 1, 1)
+	e := New(1)
+	e.RegisterDatasetDefaults("t", d)
+	const sql = `SELECT * FROM t WHERE t_oracle(x) ORACLE LIMIT 200 USING t_proxy(x) RECALL TARGET 90% WITH PROBABILITY 95%`
+	if _, err := e.Execute(sql); err != nil {
+		t.Fatal(err)
+	}
+
+	// New data under the same names: the next query must rebuild.
+	d2 := dataset.Beta(randx.New(8), 5000, 1, 1)
+	e.RegisterDatasetDefaults("t", d2)
+	res, err := e.Execute(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IndexBuilt {
+		t.Fatal("re-registration must invalidate the cached index")
+	}
+}
+
+// TestConcurrentQueriesBuildIndexOnce: concurrent first queries of the
+// same table must share one proxy scan and agree on the answer.
+func TestConcurrentQueriesBuildIndexOnce(t *testing.T) {
+	d := dataset.Beta(randx.New(9), 30000, 0.01, 2)
+	e := New(3)
+	e.RegisterTable("t", d)
+	e.RegisterOracle("o", func(i int) (bool, error) { return d.TrueLabel(i), nil })
+	proxyCalls := 0
+	var mu sync.Mutex
+	e.RegisterProxy("p", func(i int) float64 {
+		mu.Lock()
+		proxyCalls++
+		mu.Unlock()
+		return d.Score(i)
+	})
+	q, err := query.Parse(`SELECT * FROM t WHERE o(x) ORACLE LIMIT 400 USING p(x) RECALL TARGET 90% WITH PROBABILITY 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := query.BuildPlan(q, query.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 12
+	results := make([]*QueryResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = e.ExecutePlan(plan)
+		}(w)
+	}
+	wg.Wait()
+
+	builds := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if results[w].IndexBuilt {
+			builds++
+		}
+		if results[w].Tau != results[0].Tau || len(results[w].Indices) != len(results[0].Indices) {
+			t.Fatalf("worker %d answer diverged", w)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("%d workers report building the index, want exactly 1", builds)
+	}
+	if proxyCalls != d.Len() {
+		t.Fatalf("proxy UDF invoked %d times across concurrent queries, want %d", proxyCalls, d.Len())
+	}
+}

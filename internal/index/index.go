@@ -1,0 +1,205 @@
+// Package index provides ScoreIndex, the immutable per-table proxy
+// index at the heart of the selection hot path.
+//
+// The paper's operational model (Section 4.1) evaluates the cheap proxy
+// once over the whole dataset; everything a query then needs from the
+// score column — threshold counts |{x : A(x) >= tau}|, order
+// statistics, the defensive-mixture sampling distribution and its Vose
+// alias table — is a pure function of that column. A ScoreIndex
+// precomputes all of it at table/proxy registration so each query costs
+// O(oracle budget + |result|) instead of re-scanning, re-sorting, and
+// rebuilding sampling structures over all n records:
+//
+//   - the validated score vector (every score in [0, 1], no NaNs),
+//   - an ascending permutation of record ids by (score, id), giving
+//     O(log n) threshold counts and O(k log k) selective extraction,
+//   - a cache of defensive-mixture weights + alias tables keyed by
+//     (WeightExponent, Mix), so repeated queries with the same sampling
+//     configuration draw from a prebuilt table in O(1) per draw.
+//
+// A ScoreIndex is immutable after New and safe for concurrent use by
+// any number of queries; the mixture cache is internally synchronized.
+package index
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+
+	"supg/internal/sampling"
+)
+
+// MixtureKey identifies a cached defensive-mixture sampling
+// distribution: the importance-weight exponent applied to proxy scores
+// and the uniform mixing ratio (Algorithms 4/5 use 0.5 and 0.1).
+type MixtureKey struct {
+	Exponent float64
+	Mix      float64
+}
+
+// mixture pairs the normalized defensive weights with their alias
+// table. Both are immutable once published in the cache.
+type mixture struct {
+	weights []float64
+	alias   *sampling.Alias
+}
+
+// ScoreIndex is the precomputed, immutable index over one proxy-score
+// column. Construct with New; the zero value is not usable.
+type ScoreIndex struct {
+	scores []float64 // validated column, record order
+	perm   []int     // record ids ascending by (score, id)
+	sorted []float64 // scores[perm[i]] — ascending
+
+	mu       sync.RWMutex
+	mixtures map[MixtureKey]*mixture
+}
+
+// New validates the score column and builds the index. Every score
+// must be a non-NaN value in [0, 1]; the first offending record is
+// reported. The slice is copied, so callers may reuse their buffer.
+func New(scores []float64) (*ScoreIndex, error) {
+	n := len(scores)
+	if n == 0 {
+		return nil, fmt.Errorf("index: empty score column")
+	}
+	own := make([]float64, n)
+	for i, s := range scores {
+		if s < 0 || s > 1 || s != s {
+			return nil, fmt.Errorf("index: score %g for record %d outside [0,1]", s, i)
+		}
+		own[i] = s
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// Ties break by record id so the permutation is a deterministic
+	// function of the column and suffix runs of equal scores stay
+	// id-sorted.
+	sort.Slice(perm, func(a, b int) bool {
+		if own[perm[a]] != own[perm[b]] {
+			return own[perm[a]] < own[perm[b]]
+		}
+		return perm[a] < perm[b]
+	})
+	sorted := make([]float64, n)
+	for i, p := range perm {
+		sorted[i] = own[p]
+	}
+	return &ScoreIndex{
+		scores:   own,
+		perm:     perm,
+		sorted:   sorted,
+		mixtures: make(map[MixtureKey]*mixture),
+	}, nil
+}
+
+// Len returns the number of records.
+func (ix *ScoreIndex) Len() int { return len(ix.scores) }
+
+// Score returns record i's proxy score.
+func (ix *ScoreIndex) Score(i int) float64 { return ix.scores[i] }
+
+// Scores returns the validated score column in record order. The slice
+// is shared with the index and must be treated as read-only.
+func (ix *ScoreIndex) Scores() []float64 { return ix.scores }
+
+// CountAtLeast returns |{x : A(x) >= tau}| in O(log n).
+func (ix *ScoreIndex) CountAtLeast(tau float64) int {
+	return len(ix.sorted) - sort.SearchFloat64s(ix.sorted, tau)
+}
+
+// KthHighest returns the k-th highest score (0-based); k beyond the
+// data clamps to the minimum score.
+func (ix *ScoreIndex) KthHighest(k int) float64 {
+	n := len(ix.sorted)
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return ix.sorted[n-1-k]
+}
+
+// AppendAtLeast appends the record ids with score >= tau to dst in
+// ascending id order and returns the extended slice. With capacity
+// already in dst (size it with CountAtLeast) the call does not
+// allocate. Selective thresholds copy the k-record suffix of the
+// sorted permutation and re-sort it by id in O(k log k); dense
+// thresholds (k comparable to n) scan the column once in O(n), which
+// is cheaper than the sort and emits ids already ordered.
+func (ix *ScoreIndex) AppendAtLeast(dst []int, tau float64) []int {
+	n := len(ix.sorted)
+	cut := sort.SearchFloat64s(ix.sorted, tau)
+	k := n - cut
+	if k == 0 {
+		return dst
+	}
+	if k <= n/8 {
+		start := len(dst)
+		dst = append(dst, ix.perm[cut:]...)
+		slices.Sort(dst[start:])
+		return dst
+	}
+	for i, s := range ix.scores {
+		if s >= tau {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// maxCachedMixtures bounds the per-index mixture cache. Each entry
+// holds O(n) weights plus an O(n) alias table, so an unbounded cache
+// keyed by caller-supplied floats would let a parameter-sweeping
+// workload accrete multi-MB entries for the life of the table. Real
+// serving workloads use one or two (exponent, mix) configurations;
+// past the bound, mixtures are built per call and not retained.
+const maxCachedMixtures = 8
+
+// Mixture returns the defensive-mixture weights and alias table for
+// the given exponent/mix, building and caching them on first use (up
+// to maxCachedMixtures distinct keys). The returned slices/tables are
+// shared and must be treated as read-only. Concurrent callers may race
+// to build the same entry; the loser's copy is discarded, so every
+// caller observes one canonical value and draws are deterministic for
+// a deterministic random stream.
+func (ix *ScoreIndex) Mixture(exponent, mix float64) ([]float64, *sampling.Alias) {
+	key := MixtureKey{Exponent: exponent, Mix: mix}
+	ix.mu.RLock()
+	m := ix.mixtures[key]
+	ix.mu.RUnlock()
+	if m == nil {
+		w := sampling.DefensiveWeights(ix.scores, exponent, mix)
+		built := &mixture{weights: w, alias: sampling.NewAlias(w)}
+		ix.mu.Lock()
+		switch {
+		case ix.mixtures[key] != nil:
+			m = ix.mixtures[key]
+		case len(ix.mixtures) < maxCachedMixtures:
+			ix.mixtures[key] = built
+			m = built
+		default:
+			m = built // cache full: serve uncached, identical draws
+		}
+		ix.mu.Unlock()
+	}
+	return m.weights, m.alias
+}
+
+// CachedMixtures reports how many (exponent, mix) entries the cache
+// holds — observability for tests and metrics.
+func (ix *ScoreIndex) CachedMixtures() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.mixtures)
+}
+
+// MinScore returns the smallest score in the column.
+func (ix *ScoreIndex) MinScore() float64 { return ix.sorted[0] }
+
+// MaxScore returns the largest score in the column.
+func (ix *ScoreIndex) MaxScore() float64 { return ix.sorted[len(ix.sorted)-1] }

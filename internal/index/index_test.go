@@ -1,0 +1,218 @@
+package index
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"supg/internal/randx"
+	"supg/internal/sampling"
+)
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty column must be rejected")
+	}
+	if _, err := New([]float64{0.5, math.NaN()}); err == nil {
+		t.Error("NaN score must be rejected")
+	}
+	if _, err := New([]float64{0.5, -0.1}); err == nil {
+		t.Error("negative score must be rejected")
+	}
+	if _, err := New([]float64{0.5, 1.5}); err == nil {
+		t.Error("score above 1 must be rejected")
+	}
+	if _, err := New([]float64{0, 1, 0.5}); err != nil {
+		t.Errorf("valid boundary scores rejected: %v", err)
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	scores := []float64{0.3, 0.7}
+	ix, err := New(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores[0] = 0.99
+	if ix.Score(0) != 0.3 {
+		t.Error("index must not alias the caller's buffer")
+	}
+}
+
+func TestSortedPermutationWithTies(t *testing.T) {
+	scores := []float64{0.5, 0.1, 0.9, 0.5, 0.5, 0.0}
+	ix, err := New(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ascending by (score, id): 5(0.0) 1(0.1) 0(0.5) 3(0.5) 4(0.5) 2(0.9).
+	want := []int{5, 1, 0, 3, 4, 2}
+	for i, p := range ix.perm {
+		if p != want[i] {
+			t.Fatalf("perm = %v, want %v", ix.perm, want)
+		}
+	}
+	if got := ix.CountAtLeast(0.5); got != 4 {
+		t.Errorf("CountAtLeast(0.5) = %d, want 4", got)
+	}
+	if got := ix.CountAtLeast(0.91); got != 0 {
+		t.Errorf("CountAtLeast(0.91) = %d, want 0", got)
+	}
+	if got := ix.CountAtLeast(0); got != 6 {
+		t.Errorf("CountAtLeast(0) = %d, want 6", got)
+	}
+	if got := ix.CountAtLeast(math.Inf(1)); got != 0 {
+		t.Errorf("CountAtLeast(+Inf) = %d, want 0", got)
+	}
+	if ix.KthHighest(0) != 0.9 || ix.KthHighest(1) != 0.5 || ix.KthHighest(100) != 0 {
+		t.Error("KthHighest order statistics wrong")
+	}
+	if ix.MinScore() != 0 || ix.MaxScore() != 0.9 {
+		t.Error("min/max scores wrong")
+	}
+}
+
+// appendAtLeastRef is the O(n) reference: ids with score >= tau,
+// ascending.
+func appendAtLeastRef(scores []float64, tau float64) []int {
+	var out []int
+	for i, s := range scores {
+		if s >= tau {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestAppendAtLeastMatchesReference(t *testing.T) {
+	r := randx.New(41)
+	n := 5000
+	scores := make([]float64, n)
+	for i := range scores {
+		// Coarse quantization forces heavy score ties.
+		scores[i] = math.Round(r.Float64()*50) / 50
+	}
+	ix, err := New(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thresholds spanning the dense-scan and sparse-copy regimes,
+	// including exact tie values and the empty selection.
+	taus := []float64{0, 0.02, 0.5, 0.9, 0.98, 1.0, 1.1, math.Inf(1)}
+	for _, tau := range taus {
+		got := ix.AppendAtLeast(nil, tau)
+		want := appendAtLeastRef(scores, tau)
+		if len(got) != len(want) {
+			t.Fatalf("tau=%v: %d ids, want %d", tau, len(got), len(want))
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("tau=%v: output not ascending", tau)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("tau=%v: got[%d]=%d, want %d", tau, i, got[i], want[i])
+			}
+		}
+		if len(got) != ix.CountAtLeast(tau) {
+			t.Fatalf("tau=%v: CountAtLeast disagrees with extraction", tau)
+		}
+	}
+}
+
+func TestAppendAtLeastReusesCapacity(t *testing.T) {
+	ix, err := New([]float64{0.1, 0.9, 0.5, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int, 0, 4)
+	out := ix.AppendAtLeast(buf, 0.5)
+	if &out[0] != &buf[:1][0] {
+		t.Error("sufficient capacity must be reused without reallocation")
+	}
+}
+
+func TestMixtureCacheKeying(t *testing.T) {
+	ix, err := New([]float64{0.2, 0.4, 0.9, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, a1 := ix.Mixture(0.5, 0.1)
+	w2, a2 := ix.Mixture(0.5, 0.1)
+	if &w1[0] != &w2[0] || a1 != a2 {
+		t.Error("same key must return the cached mixture")
+	}
+	w3, _ := ix.Mixture(1.0, 0.1)
+	if &w3[0] == &w1[0] {
+		t.Error("different exponent must build a distinct mixture")
+	}
+	ix.Mixture(0.5, 0.2)
+	if got := ix.CachedMixtures(); got != 3 {
+		t.Errorf("cache holds %d entries, want 3", got)
+	}
+	// Cached weights must equal a fresh defensive-mixture build.
+	fresh := sampling.DefensiveWeights(ix.Scores(), 0.5, 0.1)
+	for i := range fresh {
+		if w1[i] != fresh[i] {
+			t.Fatalf("cached weight %d = %v, want %v", i, w1[i], fresh[i])
+		}
+	}
+}
+
+func TestMixtureDrawsMatchUncached(t *testing.T) {
+	r := randx.New(11)
+	scores := make([]float64, 400)
+	for i := range scores {
+		scores[i] = r.Float64()
+	}
+	ix, err := New(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, alias := ix.Mixture(0.5, 0.1)
+	fresh := sampling.NewAlias(sampling.DefensiveWeights(scores, 0.5, 0.1))
+	a := alias.DrawN(randx.New(7), 200)
+	b := fresh.DrawN(randx.New(7), 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: cached alias %d, fresh alias %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	r := randx.New(5)
+	scores := make([]float64, 20000)
+	for i := range scores {
+		scores[i] = r.Float64()
+	}
+	ix, err := New(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rg := randx.New(uint64(g))
+			for i := 0; i < 200; i++ {
+				tau := rg.Float64()
+				k := ix.CountAtLeast(tau)
+				out := ix.AppendAtLeast(make([]int, 0, k), tau)
+				if len(out) != k {
+					t.Errorf("goroutine %d: extraction size %d != count %d", g, len(out), k)
+					return
+				}
+				// Exercise the mixture cache under contention with a
+				// small set of keys so builds and hits interleave.
+				w, a := ix.Mixture(0.5, float64(i%3)/10)
+				if len(w) != ix.Len() || a == nil {
+					t.Errorf("goroutine %d: bad mixture", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -100,9 +100,20 @@ type Budgeted struct {
 	cache  map[int]bool
 }
 
-// NewBudgeted wraps inner with a limit of budget oracle calls.
+// NewBudgeted wraps inner with a limit of budget oracle calls. The
+// memoization map is presized to realistic budgets to keep incremental
+// map growth off the query hot path; sentinel "effectively unlimited"
+// budgets (the joint-query wrapper passes MaxInt/2) get no hint, since
+// presizing to them would allocate far beyond actual use.
 func NewBudgeted(inner Oracle, budget int) *Budgeted {
-	return &Budgeted{inner: inner, budget: budget, cache: make(map[int]bool)}
+	hint := budget
+	if hint < 0 || hint > 1<<20 {
+		hint = 0
+	}
+	if hint > 1<<16 {
+		hint = 1 << 16
+	}
+	return &Budgeted{inner: inner, budget: budget, cache: make(map[int]bool, hint)}
 }
 
 // Label implements Oracle with budget enforcement and memoization.

@@ -1,0 +1,81 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"supg/internal/randx"
+)
+
+// Tests specific to the Floyd combination sampler backing
+// UniformWithoutReplacement (the general contract — distinctness,
+// range, k >= n truncation — is covered in sampling_test.go).
+
+func TestFloydDeterministicForFixedSeed(t *testing.T) {
+	a := UniformWithoutReplacement(randx.New(77), 1000, 50)
+	b := UniformWithoutReplacement(randx.New(77), 1000, 50)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %d vs %d — same seed must reproduce", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFloydKEqualsN(t *testing.T) {
+	idx := UniformWithoutReplacement(randx.New(3), 7, 7)
+	if len(idx) != 7 {
+		t.Fatalf("k == n must return all %d indices, got %d", 7, len(idx))
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		seen[i] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("k == n must cover every index, got %v", idx)
+	}
+}
+
+func TestFloydNearFullSample(t *testing.T) {
+	// k = n-1 exercises the duplicate-replacement branch heavily.
+	idx := UniformWithoutReplacement(randx.New(9), 50, 49)
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= 50 || seen[i] {
+			t.Fatalf("invalid or duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+// TestFloydUniformityChiSquare checks per-index inclusion frequencies
+// against the 5% binomial expectation with a generous chi-square-style
+// tolerance; it complements the coarser 10% check on the shared
+// contract test.
+func TestFloydUniformityChiSquare(t *testing.T) {
+	r := randx.New(123)
+	n, k, trials := 40, 10, 40000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, j := range UniformWithoutReplacement(r, n, k) {
+			counts[j]++
+		}
+	}
+	p := float64(k) / float64(n)
+	want := float64(trials) * p
+	sigma := math.Sqrt(float64(trials) * p * (1 - p))
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*sigma {
+			t.Fatalf("index %d drawn %d times, want %v ± %v", i, c, want, 5*sigma)
+		}
+	}
+}
+
+func TestFloydAllocatesOnlyK(t *testing.T) {
+	idx := UniformWithoutReplacement(randx.New(4), 1<<20, 16)
+	if cap(idx) != 16 {
+		t.Fatalf("Floyd sampler must allocate O(k), got capacity %d", cap(idx))
+	}
+}

@@ -12,24 +12,34 @@ import (
 )
 
 // UniformWithoutReplacement returns k distinct indices drawn uniformly
-// from [0, n) using a partial Fisher–Yates shuffle (O(k) memory beyond
-// the index table, O(n) setup). If k >= n it returns all n indices.
+// from [0, n) using Floyd's algorithm: O(k) memory and O(k) expected
+// time, with no O(n) index table (the historical partial Fisher–Yates
+// allocated and initialized all n slots per call). If k >= n it
+// returns all n indices in order. Output is deterministic for a fixed
+// random stream; the draw order is not uniformly shuffled, which no
+// caller relies on (labeled samples are re-sorted by proxy score).
 func UniformWithoutReplacement(r *randx.Rand, n, k int) []int {
 	if n <= 0 || k <= 0 {
 		return nil
 	}
-	if k > n {
-		k = n
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	out := make([]int, 0, k)
+	seen := make(map[int]struct{}, k)
+	for j := n - k; j < n; j++ {
+		t := r.IntN(j + 1)
+		if _, dup := seen[t]; dup {
+			t = j
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
 	}
-	for i := 0; i < k; i++ {
-		j := i + r.IntN(n-i)
-		idx[i], idx[j] = idx[j], idx[i]
-	}
-	return idx[:k]
+	return out
 }
 
 // UniformWithReplacement returns k indices drawn uniformly with
@@ -46,8 +56,10 @@ func UniformWithReplacement(r *randx.Rand, n, k int) []int {
 }
 
 // Reservoir returns k indices sampled uniformly without replacement from
-// a stream of n items using Vitter's Algorithm R. It exists for callers
-// that cannot afford the O(n) index table of UniformWithoutReplacement.
+// a stream of n items using Vitter's Algorithm R. Unlike
+// UniformWithoutReplacement (Floyd's sampler, which needs n up front)
+// it processes items one at a time, so it suits single-pass streaming
+// contexts where the population size is not known in advance.
 func Reservoir(r *randx.Rand, n, k int) []int {
 	if n <= 0 || k <= 0 {
 		return nil

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesShareIndex hammers /v1/query from many
+// goroutines against one registered table: every request must succeed,
+// agree on the answer (same SQL ⇒ same random stream), and at most one
+// may pay the proxy scan — the rest hit the shared ScoreIndex and
+// report zero proxy calls.
+func TestConcurrentQueriesShareIndex(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	body := `{"sql": "SELECT * FROM beta WHERE beta_oracle(x) = true ORACLE LIMIT 500 USING beta_proxy(x) RECALL TARGET 90% WITH PROBABILITY 95%"}`
+
+	const workers = 16
+	responses := make([]QueryResponse, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewBufferString(body))
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("worker %d: status %d", w, resp.StatusCode)
+				return
+			}
+			errs[w] = json.NewDecoder(resp.Body).Decode(&responses[w])
+		}(w)
+	}
+	wg.Wait()
+
+	scans := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if responses[w].ProxyCalls > 0 {
+			scans++
+		}
+		if responses[w].Returned != responses[0].Returned {
+			t.Fatalf("worker %d diverged: %+v vs %+v", w, responses[w], responses[0])
+		}
+		if (responses[w].Tau == nil) != (responses[0].Tau == nil) ||
+			(responses[w].Tau != nil && *responses[w].Tau != *responses[0].Tau) {
+			t.Fatalf("worker %d tau diverged", w)
+		}
+		if responses[w].Returned == 0 {
+			t.Fatalf("worker %d returned an empty result", w)
+		}
+	}
+	if scans > 1 {
+		t.Fatalf("%d requests paid a proxy scan, want at most 1", scans)
+	}
+}
+
+// TestQueryNoCertifiableThresholdEncodes: a precision query that
+// cannot certify any threshold yields tau = +Inf internally, which
+// JSON cannot represent; the response must still encode (tau: null)
+// instead of dying mid-body.
+func TestQueryNoCertifiableThresholdEncodes(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	// The 20k-record Beta(0.01, 2) test dataset has ~0.5% positives:
+	// with a tight budget no candidate reaches 99% certified precision.
+	body := `{"sql": "SELECT * FROM beta WHERE beta_oracle(x) = true ORACLE LIMIT 300 USING beta_proxy(x) PRECISION TARGET 99% WITH PROBABILITY 95%"}`
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatalf("response did not decode: %v", err)
+	}
+	if qr.Tau != nil {
+		t.Fatalf("tau = %v, want null for an uncertifiable threshold", *qr.Tau)
+	}
+}

@@ -9,6 +9,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -146,11 +147,14 @@ type QueryRequest struct {
 
 // QueryResponse is the /v1/query output.
 type QueryResponse struct {
-	Returned    int     `json:"returned"`
-	Tau         float64 `json:"tau"`
-	OracleCalls int     `json:"oracle_calls"`
-	ProxyCalls  int     `json:"proxy_calls"`
-	ElapsedMS   float64 `json:"elapsed_ms"`
+	Returned int `json:"returned"`
+	// Tau is null when no proxy threshold was certifiable (the query
+	// returned labeled positives only) — the engine models that case
+	// as tau = +Inf, which JSON cannot carry.
+	Tau         *float64 `json:"tau"`
+	OracleCalls int      `json:"oracle_calls"`
+	ProxyCalls  int      `json:"proxy_calls"`
+	ElapsedMS   float64  `json:"elapsed_ms"`
 	// Achieved metrics are computable here because uploaded datasets
 	// carry ground-truth labels (this is a simulation service).
 	AchievedPrecision float64 `json:"achieved_precision"`
@@ -182,10 +186,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	resp := QueryResponse{
 		Returned:    len(res.Indices),
-		Tau:         res.Tau,
 		OracleCalls: res.OracleCalls,
 		ProxyCalls:  res.ProxyCalls,
 		ElapsedMS:   float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	if !math.IsInf(res.Tau, 0) {
+		tau := res.Tau
+		resp.Tau = &tau
 	}
 	s.mu.RLock()
 	if d, ok := s.datasets[res.Plan.Table]; ok {
