@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check bench
+.PHONY: all build test test-race vet fmt-check bench
 
 all: build vet test
 
@@ -9,6 +9,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

@@ -1,32 +1,49 @@
 // Command supg-server runs the SUPG HTTP service: upload datasets and
-// execute SUPG queries over the network.
+// execute SUPG queries over the network, synchronously or through the
+// async job API.
 //
 // Usage:
 //
-//	supg-server -addr :8080 [-preload beta]
+//	supg-server -addr :8080 [-preload beta] [-workers 4] [-oracle-parallelism 8]
 //
 // API:
 //
-//	GET  /healthz
-//	GET  /v1/datasets
-//	PUT  /v1/datasets/{name}      body: CSV (id,proxy_score,label) or
+//	GET    /healthz
+//	GET    /v1/datasets
+//	PUT    /v1/datasets/{name}    body: CSV (id,proxy_score,label) or
 //	                              binary with Content-Type: application/octet-stream
-//	POST /v1/query                body: {"sql": "SELECT * FROM ..."}
+//	POST   /v1/query              body: {"sql": "SELECT * FROM ..."} (synchronous)
+//	POST   /v1/jobs               same body; returns 202 + job id (asynchronous)
+//	GET    /v1/jobs               list job statuses
+//	GET    /v1/jobs/{id}          job status and, when done, the result
+//	DELETE /v1/jobs/{id}          cancel an active job / remove a finished one
+//	GET    /v1/stats              service counters
 //
 // Example session:
 //
 //	supg-datagen -kind beta -n 100000 -out /tmp/beta.csv
 //	curl -X PUT --data-binary @/tmp/beta.csv localhost:8080/v1/datasets/beta
-//	curl -X POST localhost:8080/v1/query -d '{"sql":
+//	curl -X POST localhost:8080/v1/jobs -d '{"sql":
 //	  "SELECT * FROM beta WHERE beta_oracle(x) = true ORACLE LIMIT 1000
 //	   USING beta_proxy(x) RECALL TARGET 90% WITH PROBABILITY 95%"}'
+//	curl localhost:8080/v1/jobs/job-000001
+//
+// On SIGINT/SIGTERM the server stops accepting connections, then
+// drains in-flight and queued jobs up to -shutdown-grace before
+// cancelling whatever remains.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"supg/internal/dataset"
@@ -36,14 +53,26 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		seed    = flag.Uint64("seed", 1, "query randomness seed")
-		preload = flag.String("preload", "", "preload a demo dataset: beta|imagenet|nightstreet")
-		n       = flag.Int("n", 100_000, "preloaded dataset size (beta/nightstreet)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Uint64("seed", 1, "query randomness seed")
+		preload     = flag.String("preload", "", "preload a demo dataset: beta|imagenet|nightstreet")
+		n           = flag.Int("n", 100_000, "preloaded dataset size (beta/nightstreet)")
+		workers     = flag.Int("workers", 4, "async job worker-pool size")
+		parallelism = flag.Int("oracle-parallelism", 1, "concurrent oracle calls per query (oracle UDFs must be goroutine-safe when > 1)")
+		maxBody     = flag.Int64("max-body-bytes", 64<<20, "dataset upload size limit in bytes (negative disables)")
+		retention   = flag.Duration("job-retention", 15*time.Minute, "how long finished jobs stay queryable")
+		oracleLat   = flag.Duration("oracle-latency", 0, "simulated per-call oracle latency for every registered dataset (preloads and uploads)")
+		grace       = flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight jobs on shutdown")
 	)
 	flag.Parse()
 
-	srv := server.New(*seed)
+	srv := server.NewWithOptions(*seed, server.Options{
+		Workers:           *workers,
+		OracleParallelism: *parallelism,
+		MaxBodyBytes:      *maxBody,
+		JobRetention:      *retention,
+		OracleLatency:     *oracleLat,
+	})
 	if *preload != "" {
 		r := randx.New(*seed)
 		var d *dataset.Dataset
@@ -67,6 +96,41 @@ func main() {
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("supg-server listening on %s\n", *addr)
-	log.Fatal(httpServer.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	fmt.Printf("supg-server listening on %s (%d job workers, oracle parallelism %d)\n",
+		*addr, *workers, *parallelism)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("supg-server: shutting down, draining jobs...")
+
+	// The listener shutdown and the job drain share the grace window but
+	// run concurrently, so a slow synchronous query cannot starve the
+	// job drain of its time.
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := httpServer.Shutdown(graceCtx); err != nil {
+			log.Printf("supg-server: http shutdown: %v", err)
+		}
+	}()
+	if err := srv.Shutdown(graceCtx); errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("supg-server: drain window expired; remaining jobs cancelled")
+	} else if err != nil {
+		log.Printf("supg-server: job drain: %v", err)
+	}
+	wg.Wait()
+	fmt.Println("supg-server: bye")
 }

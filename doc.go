@@ -66,4 +66,25 @@
 //
 // The one-shot supg.Run path computes the same artifacts lazily per
 // call and returns bit-identical results for the same seed.
+//
+// # Async jobs and concurrent oracle dispatch
+//
+// The oracle dominates query latency (it models a human labeler or a
+// ground-truth DNN), so the HTTP service executes queries as
+// asynchronous jobs and labels oracle samples concurrently. The
+// samplers draw the full index set before labeling, which lets
+// internal/oracle's Dispatcher fetch the labels with bounded
+// parallelism and merge them back in draw order: results are
+// bit-for-bit identical to sequential execution for the same seed at
+// any parallelism. Queries take a context (engine.ExecutePlanContext)
+// checked on every uncached oracle call, so cancelling a job stops
+// budget consumption immediately.
+//
+// internal/jobs provides the job manager — a bounded worker pool with
+// the lifecycle queued → running → done/failed/cancelled, per-job
+// progress reporting of oracle calls consumed, and retention-based GC
+// of finished jobs. internal/server exposes it as POST/GET/DELETE
+// /v1/jobs endpoints next to the synchronous /v1/query convenience
+// wrapper; cmd/supg-server drains in-flight jobs on SIGINT/SIGTERM.
+// See README.md for the endpoint table and curl examples.
 package supg

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -67,6 +68,15 @@ func SelectJoint(r *randx.Rand, scores []float64, orc oracle.Oracle, spec JointS
 
 // SelectJointFrom is SelectJoint over any ScoreSource (see SelectFrom).
 func SelectJointFrom(r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec JointSpec, cfg Config) (JointResult, error) {
+	return SelectJointFromContext(context.Background(), r, src, orc, spec, cfg)
+}
+
+// SelectJointFromContext is SelectJointFrom with cancellation (see
+// SelectFromContext). The stage-3 exhaustive filter — by far the most
+// oracle-hungry phase of a JT query — labels the whole candidate set
+// through one batch call, so a batch-capable oracle verifies candidates
+// with bounded parallelism.
+func SelectJointFromContext(ctx context.Context, r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec JointSpec, cfg Config) (JointResult, error) {
 	if err := spec.Validate(); err != nil {
 		return JointResult{}, err
 	}
@@ -79,8 +89,8 @@ func SelectJointFrom(r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec Joi
 	// The stage-3 exhaustive filter needs unrestricted oracle access;
 	// wrap with an effectively unlimited budget so call accounting
 	// still flows through the same path.
-	budgeted := oracle.NewBudgeted(orc, math.MaxInt/2)
-	stageBudgeted := oracle.NewBudgeted(budgeted, spec.StageBudget)
+	budgeted := oracle.NewBudgeted(orc, math.MaxInt/2).WithContext(ctx)
+	stageBudgeted := oracle.NewBudgeted(budgeted, spec.StageBudget).WithContext(ctx)
 
 	tr, err := EstimateTauFrom(r, src, stageBudgeted, rtSpec, cfg)
 	if err != nil {
@@ -92,13 +102,13 @@ func SelectJointFrom(r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec Joi
 	candidate := assembleFrom(src, tr)
 
 	// Stage 3: verify every candidate record; keep true positives.
+	labs, err := budgeted.LabelAll(candidate.Indices)
+	if err != nil {
+		return JointResult{}, fmt.Errorf("core: joint filter stage: %w", err)
+	}
 	var final []int
-	for _, i := range candidate.Indices {
-		lab, err := budgeted.Label(i)
-		if err != nil {
-			return JointResult{}, fmt.Errorf("core: joint filter stage: %w", err)
-		}
-		if lab {
+	for pos, i := range candidate.Indices {
+		if labs[pos] {
 			final = append(final, i)
 		}
 	}

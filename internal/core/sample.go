@@ -96,7 +96,11 @@ func drawWeightedSubset(r *randx.Rand, scores []float64, subset []int, weightOf 
 }
 
 // labelDraws queries the oracle for each draw and assembles the sample,
-// sorted by ascending proxy score.
+// sorted by ascending proxy score. The whole draw set is handed to the
+// oracle in one LabelAll call, so a batch-capable oracle (one wrapped
+// in an oracle.Dispatcher) fetches the labels with bounded parallelism;
+// the labels come back in draw order and the budget accounting matches
+// the sequential loop exactly, so results are identical either way.
 func labelDraws(scores []float64, o *oracle.Budgeted, idx []int, m []float64) (*labeledSample, error) {
 	before := o.Used()
 	s := &labeledSample{
@@ -112,22 +116,27 @@ func labelDraws(scores []float64, o *oracle.Budgeted, idx []int, m []float64) (*
 	}
 	sort.Slice(order, func(a, b int) bool { return scores[idx[order[a]]] < scores[idx[order[b]]] })
 
+	sorted := make([]int, len(idx))
 	for pos, oi := range order {
-		j := idx[oi]
-		lab, err := o.Label(j)
-		if err != nil {
-			return nil, fmt.Errorf("core: labeling record %d: %w", j, err)
-		}
+		sorted[pos] = idx[oi]
+	}
+	labs, err := o.LabelAll(sorted)
+	if err != nil {
+		return nil, fmt.Errorf("core: labeling draws: %w", err)
+	}
+
+	for pos, oi := range order {
+		j := sorted[pos]
 		s.idx[pos] = j
 		s.score[pos] = scores[j]
-		if lab {
+		if labs[pos] {
 			s.label[pos] = 1
 		}
 		s.m[pos] = m[oi]
 		if s.m[pos] > s.maxM {
 			s.maxM = s.m[pos]
 		}
-		s.labels[j] = lab
+		s.labels[j] = labs[pos]
 	}
 	s.calls = o.Used() - before
 	return s, nil

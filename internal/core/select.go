@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -77,7 +78,17 @@ func Select(r *randx.Rand, scores []float64, orc oracle.Oracle, spec Spec, cfg C
 // indexed hot path. For a fixed random stream it returns exactly the
 // records the raw-slice path returns.
 func SelectFrom(r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec Spec, cfg Config) (Result, error) {
-	budgeted := oracle.NewBudgeted(orc, spec.Budget)
+	return SelectFromContext(context.Background(), r, src, orc, spec, cfg)
+}
+
+// SelectFromContext is SelectFrom with cancellation: once ctx is done
+// the query stops consuming oracle budget and returns ctx's error. When
+// orc implements oracle.BatchOracle (e.g. an oracle.Dispatcher), each
+// round of sampled draws is labeled through one batch call, overlapping
+// slow oracle latency; results are bit-for-bit identical to the
+// sequential path for the same random stream.
+func SelectFromContext(ctx context.Context, r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec Spec, cfg Config) (Result, error) {
+	budgeted := oracle.NewBudgeted(orc, spec.Budget).WithContext(ctx)
 	tr, err := EstimateTauFrom(r, src, budgeted, spec, cfg)
 	if err != nil && !errors.Is(err, ErrNoPositives) {
 		return Result{}, err

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"supg/internal/dataset"
+	"supg/internal/metrics"
+	"supg/internal/randx"
+)
+
+const ctxTestSQL = `SELECT * FROM beta WHERE beta_oracle(x) = true ` +
+	`ORACLE LIMIT 300 USING beta_proxy(x) RECALL TARGET 90% WITH PROBABILITY 95%`
+
+func newCtxTestEngine(t *testing.T, seed uint64) (*Engine, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.Beta(randx.New(3), 20_000, 0.02, 2)
+	e := New(seed)
+	e.RegisterDatasetDefaults("beta", d)
+	return e, d
+}
+
+func TestExecuteContextMatchesSequential(t *testing.T) {
+	seq, _ := newCtxTestEngine(t, 1)
+	want, err := seq.Execute(ctxTestSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par, _ := newCtxTestEngine(t, 1)
+	var c metrics.Counters
+	got, err := par.ExecuteContext(context.Background(), ctxTestSQL, ExecOptions{
+		OracleParallelism: 8,
+		Counters:          &c,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tau != want.Tau || got.OracleCalls != want.OracleCalls {
+		t.Errorf("parallel tau/calls = %v/%d, want %v/%d", got.Tau, got.OracleCalls, want.Tau, want.OracleCalls)
+	}
+	if len(got.Indices) != len(want.Indices) {
+		t.Fatalf("parallel returned %d indices, want %d", len(got.Indices), len(want.Indices))
+	}
+	for i := range want.Indices {
+		if got.Indices[i] != want.Indices[i] {
+			t.Fatalf("index[%d] = %d, want %d", i, got.Indices[i], want.Indices[i])
+		}
+	}
+	snap := c.Snapshot()
+	if snap.Queries != 1 || snap.DispatchBatches == 0 {
+		t.Errorf("counters = %+v, want 1 query and >0 dispatch batches", snap)
+	}
+}
+
+func TestExecuteContextProgress(t *testing.T) {
+	e, _ := newCtxTestEngine(t, 1)
+	var last atomic.Int64
+	res, err := e.ExecuteContext(context.Background(), ctxTestSQL, ExecOptions{
+		OracleParallelism: 4,
+		Progress:          func(n int) { last.Store(int64(n)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(last.Load()) != res.OracleCalls {
+		t.Errorf("final progress = %d, want %d oracle calls", last.Load(), res.OracleCalls)
+	}
+}
+
+func TestExecuteContextCancelledBeforeStart(t *testing.T) {
+	e, _ := newCtxTestEngine(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ExecuteContext(ctx, ctxTestSQL, ExecOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExecuteContextCancelledMidQuery(t *testing.T) {
+	d := dataset.Beta(randx.New(3), 20_000, 0.02, 2)
+	e := New(1)
+	e.RegisterTable("beta", d)
+	e.RegisterProxy("beta_proxy", func(i int) float64 { return d.Score(i) })
+	var calls atomic.Int64
+	e.RegisterOracle("beta_oracle", func(i int) (bool, error) {
+		calls.Add(1)
+		time.Sleep(time.Millisecond)
+		return d.TrueLabel(i), nil
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.ExecuteContext(ctx, ctxTestSQL, ExecOptions{OracleParallelism: 2})
+		done <- err
+	}()
+	// Let the query get into the labeling loop, then cancel.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	settled := calls.Load()
+	time.Sleep(20 * time.Millisecond)
+	if calls.Load() != settled {
+		t.Errorf("oracle consumption continued after cancellation: %d -> %d", settled, calls.Load())
+	}
+	if settled >= 300 {
+		t.Errorf("cancellation did not stop mid-run: %d calls of budget 300", settled)
+	}
+}

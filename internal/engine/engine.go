@@ -14,15 +14,18 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"supg/internal/core"
 	"supg/internal/dataset"
 	"supg/internal/index"
+	"supg/internal/metrics"
 	"supg/internal/oracle"
 	"supg/internal/query"
 	"supg/internal/randx"
@@ -113,6 +116,21 @@ func (e *Engine) RegisterProxy(name string, fn ProxyUDF) {
 	}
 }
 
+// WrapOracle replaces a registered oracle UDF with wrap(current) — the
+// hook for layering simulated latency or instrumentation onto an
+// existing registration without re-implementing it. It reports whether
+// the name was registered.
+func (e *Engine) WrapOracle(name string, wrap func(OracleUDF) OracleUDF) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fn, ok := e.oracles[name]
+	if !ok {
+		return false
+	}
+	e.oracles[name] = wrap(fn)
+	return true
+}
+
 // RegisterDatasetDefaults registers table name plus "<name>_oracle" and
 // "<name>_proxy" UDFs backed by the dataset's own labels and scores —
 // the common simulation path.
@@ -151,8 +169,33 @@ type QueryResult struct {
 	Plan *query.Plan
 }
 
+// ExecOptions tune one query execution. The zero value runs the query
+// synchronously with a sequential oracle, exactly as ExecutePlan always
+// has.
+type ExecOptions struct {
+	// OracleParallelism bounds the number of concurrent oracle UDF
+	// invocations per labeling batch (<= 1 labels sequentially). The
+	// oracle UDF must be goroutine-safe when parallelism > 1. Results
+	// are independent of the setting: draws are made before labeling,
+	// and batch labels are merged back in draw order.
+	OracleParallelism int
+	// Progress, when non-nil, receives the cumulative count of
+	// budget-consuming oracle calls as the query runs. It may be invoked
+	// from multiple goroutines concurrently (under parallel dispatch)
+	// and must be fast and goroutine-safe.
+	Progress func(oracleCalls int)
+	// Counters, when non-nil, records query and dispatch activity.
+	Counters *metrics.Counters
+}
+
 // Execute parses, plans, and runs a SUPG statement.
 func (e *Engine) Execute(sql string) (*QueryResult, error) {
+	return e.ExecuteContext(context.Background(), sql, ExecOptions{})
+}
+
+// ExecuteContext parses, plans, and runs a SUPG statement with
+// cancellation, oracle parallelism, and progress reporting.
+func (e *Engine) ExecuteContext(ctx context.Context, sql string, opts ExecOptions) (*QueryResult, error) {
 	q, err := query.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -161,11 +204,21 @@ func (e *Engine) Execute(sql string) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecutePlan(plan)
+	return e.ExecutePlanContext(ctx, plan, opts)
 }
 
 // ExecutePlan runs an already-built plan.
 func (e *Engine) ExecutePlan(plan *query.Plan) (*QueryResult, error) {
+	return e.ExecutePlanContext(context.Background(), plan, ExecOptions{})
+}
+
+// ExecutePlanContext runs an already-built plan under ctx: once ctx is
+// done the query stops consuming oracle calls and returns ctx's error.
+// See ExecOptions for parallel oracle dispatch and progress reporting.
+func (e *Engine) ExecutePlanContext(ctx context.Context, plan *query.Plan, opts ExecOptions) (*QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e.mu.RLock()
 	_, okT := e.tables[plan.Table]
 	oracleFn, okO := e.oracles[plan.OracleUDF]
@@ -192,7 +245,8 @@ func (e *Engine) ExecutePlan(plan *query.Plan) (*QueryResult, error) {
 	}
 
 	rng := randx.New(seed).Stream(hashString(plan.SourceText))
-	orc := oracle.Func(oracleFn)
+	orc := buildOracle(oracleFn, opts)
+	opts.Counters.QueryExecuted()
 
 	res := &QueryResult{Plan: plan, IndexBuilt: built}
 	if built {
@@ -201,7 +255,7 @@ func (e *Engine) ExecutePlan(plan *query.Plan) (*QueryResult, error) {
 	}
 	switch plan.Kind {
 	case query.PlanBudgeted:
-		sel, err := core.SelectFrom(rng, entry.ix, orc, plan.Spec, plan.Config)
+		sel, err := core.SelectFromContext(ctx, rng, entry.ix, orc, plan.Spec, plan.Config)
 		if err != nil {
 			return nil, err
 		}
@@ -209,7 +263,7 @@ func (e *Engine) ExecutePlan(plan *query.Plan) (*QueryResult, error) {
 		res.Tau = sel.Tau
 		res.OracleCalls = sel.OracleCalls
 	case query.PlanJoint:
-		sel, err := core.SelectJointFrom(rng, entry.ix, orc, plan.JointSpec, plan.Config)
+		sel, err := core.SelectJointFromContext(ctx, rng, entry.ix, orc, plan.JointSpec, plan.Config)
 		if err != nil {
 			return nil, err
 		}
@@ -221,6 +275,39 @@ func (e *Engine) ExecutePlan(plan *query.Plan) (*QueryResult, error) {
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// buildOracle stacks the execution options onto the raw oracle UDF:
+// a progress-counting wrapper (innermost, so every real invocation is
+// observed) and, when parallelism is requested, a batch dispatcher that
+// overlaps oracle latency across goroutines.
+func buildOracle(fn OracleUDF, opts ExecOptions) oracle.Oracle {
+	var orc oracle.Oracle = oracle.Func(fn)
+	if opts.Progress != nil {
+		orc = &countingOracle{inner: orc, hook: opts.Progress}
+	}
+	if opts.OracleParallelism > 1 {
+		orc = oracle.NewDispatcher(orc, opts.OracleParallelism).WithCounters(opts.Counters)
+	}
+	return orc
+}
+
+// countingOracle reports the cumulative number of successful oracle
+// invocations to a progress hook. It sits below the budget wrapper, so
+// every counted call is budget-consuming (memoized repeats never reach
+// it), and below the dispatcher, so counts arrive as calls complete.
+type countingOracle struct {
+	inner oracle.Oracle
+	calls atomic.Int64
+	hook  func(int)
+}
+
+func (c *countingOracle) Label(i int) (bool, error) {
+	v, err := c.inner.Label(i)
+	if err == nil {
+		c.hook(int(c.calls.Add(1)))
+	}
+	return v, err
 }
 
 // tableIndex returns the shared ScoreIndex for the plan's (table,

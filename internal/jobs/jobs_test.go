@@ -1,0 +1,320 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"supg/internal/metrics"
+)
+
+// waitState polls until the job reaches a terminal-or-wanted state.
+func waitState(t *testing.T, j *Job, want State) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := j.Snapshot()
+		if snap.State == want {
+			return snap
+		}
+		if snap.State.Terminal() && snap.State != want {
+			t.Fatalf("job %s reached %s, want %s (err %q)", j.ID(), snap.State, want, snap.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s (now %s)", j.ID(), want, j.Snapshot().State)
+	return Snapshot{}
+}
+
+func TestJobLifecycleDone(t *testing.T) {
+	var c metrics.Counters
+	m := NewManager(func(ctx context.Context, payload any, progress func(int)) (any, error) {
+		progress(7)
+		return fmt.Sprintf("ran %v", payload), nil
+	}, Config{Workers: 2, Counters: &c})
+	defer m.Shutdown(context.Background())
+
+	j, err := m.Submit("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitState(t, j, StateDone)
+	if snap.Result != "ran q1" || snap.OracleCalls != 7 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.SubmittedAt.IsZero() || snap.StartedAt.IsZero() || snap.FinishedAt.IsZero() {
+		t.Errorf("timestamps missing: %+v", snap)
+	}
+	cs := c.Snapshot()
+	if cs.JobsSubmitted != 1 || cs.JobsDone != 1 {
+		t.Errorf("counters = %+v", cs)
+	}
+}
+
+func TestJobLifecycleFailed(t *testing.T) {
+	boom := errors.New("boom")
+	m := NewManager(func(ctx context.Context, payload any, progress func(int)) (any, error) {
+		return nil, boom
+	}, Config{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	j, _ := m.Submit(nil)
+	snap := waitState(t, j, StateFailed)
+	if snap.Error != "boom" || snap.Result != nil {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	var calls atomic.Int64
+	m := NewManager(func(ctx context.Context, payload any, progress func(int)) (any, error) {
+		for i := 0; ; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			calls.Add(1)
+			progress(i + 1)
+			time.Sleep(time.Millisecond)
+		}
+	}, Config{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	j, _ := m.Submit(nil)
+	waitState(t, j, StateRunning)
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if changed, err := m.Cancel(j.ID()); err != nil || !changed {
+		t.Fatalf("Cancel = %v, %v", changed, err)
+	}
+	snap := waitState(t, j, StateCancelled)
+	settled := calls.Load()
+	time.Sleep(20 * time.Millisecond)
+	if calls.Load() != settled {
+		t.Errorf("work continued after cancellation: %d -> %d", settled, calls.Load())
+	}
+	if snap.OracleCalls == 0 {
+		t.Errorf("progress not reported before cancel: %+v", snap)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	m := NewManager(func(ctx context.Context, payload any, progress func(int)) (any, error) {
+		<-release
+		return nil, nil
+	}, Config{Workers: 1})
+	defer func() {
+		close(release)
+		m.Shutdown(context.Background())
+	}()
+
+	blocker, _ := m.Submit("blocker")
+	waitState(t, blocker, StateRunning)
+	queued, _ := m.Submit("queued")
+	if changed, err := m.Cancel(queued.ID()); err != nil || !changed {
+		t.Fatalf("Cancel = %v, %v", changed, err)
+	}
+	snap := queued.Snapshot()
+	if snap.State != StateCancelled {
+		t.Errorf("queued job state = %s, want cancelled", snap.State)
+	}
+	// Cancelling a finished job changes nothing.
+	if changed, err := m.Cancel(queued.ID()); err != nil || changed {
+		t.Errorf("second Cancel = %v, %v", changed, err)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	m := NewManager(func(ctx context.Context, payload any, progress func(int)) (any, error) {
+		<-release
+		return nil, nil
+	}, Config{Workers: 1, QueueDepth: 2})
+	defer func() {
+		close(release)
+		m.Shutdown(context.Background())
+	}()
+
+	// One running (after dequeue) plus two queued fills the depth-2
+	// queue; submit until full, then expect ErrQueueFull.
+	var err error
+	for i := 0; i < 5; i++ {
+		if _, err = m.Submit(i); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestListNewestFirst(t *testing.T) {
+	m := NewManager(func(ctx context.Context, payload any, progress func(int)) (any, error) {
+		return nil, nil
+	}, Config{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	a, _ := m.Submit("a")
+	b, _ := m.Submit("b")
+	waitState(t, a, StateDone)
+	waitState(t, b, StateDone)
+	list := m.List()
+	if len(list) != 2 {
+		t.Fatalf("List len = %d", len(list))
+	}
+	if list[0].ID != b.ID() || list[1].ID != a.ID() {
+		t.Errorf("order = %s, %s; want newest first", list[0].ID, list[1].ID)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	release := make(chan struct{})
+	m := NewManager(func(ctx context.Context, payload any, progress func(int)) (any, error) {
+		<-release
+		return nil, nil
+	}, Config{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	j, _ := m.Submit(nil)
+	waitState(t, j, StateRunning)
+	if err := m.Remove(j.ID()); err == nil {
+		t.Error("removing a running job should fail")
+	}
+	close(release)
+	waitState(t, j, StateDone)
+	if err := m.Remove(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get(j.ID()); ok {
+		t.Error("job still present after Remove")
+	}
+	if err := m.Remove(j.ID()); err == nil {
+		t.Error("removing an unknown job should fail")
+	}
+}
+
+func TestGCRetention(t *testing.T) {
+	m := NewManager(func(ctx context.Context, payload any, progress func(int)) (any, error) {
+		return nil, nil
+	}, Config{Workers: 1, Retention: 20 * time.Millisecond})
+	defer m.Shutdown(context.Background())
+
+	j, _ := m.Submit(nil)
+	waitState(t, j, StateDone)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := m.Get(j.ID()); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("finished job never garbage-collected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestGCMaxFinished(t *testing.T) {
+	m := NewManager(func(ctx context.Context, payload any, progress func(int)) (any, error) {
+		return nil, nil
+	}, Config{Workers: 2, Retention: time.Hour, MaxFinished: 3})
+	defer m.Shutdown(context.Background())
+
+	var last *Job
+	for i := 0; i < 8; i++ {
+		j, err := m.Submit(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, j, StateDone)
+		last = j
+	}
+	m.gc(time.Now())
+	list := m.List()
+	if len(list) != 3 {
+		t.Fatalf("kept %d finished jobs, want 3", len(list))
+	}
+	if list[0].ID != last.ID() {
+		t.Errorf("newest job evicted: %s", list[0].ID)
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	var ran atomic.Int64
+	m := NewManager(func(ctx context.Context, payload any, progress func(int)) (any, error) {
+		time.Sleep(5 * time.Millisecond)
+		ran.Add(1)
+		return nil, nil
+	}, Config{Workers: 2})
+
+	jobs := make([]*Job, 6)
+	for i := range jobs {
+		jobs[i], _ = m.Submit(i)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != int64(len(jobs)) {
+		t.Errorf("drained %d jobs, want %d", ran.Load(), len(jobs))
+	}
+	for _, j := range jobs {
+		if s := j.Snapshot().State; s != StateDone {
+			t.Errorf("job %s state %s after drain", j.ID(), s)
+		}
+	}
+	if _, err := m.Submit(nil); !errors.Is(err, ErrShutdown) {
+		t.Errorf("Submit after shutdown = %v", err)
+	}
+	// Idempotent.
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Errorf("second Shutdown = %v", err)
+	}
+}
+
+func TestConcurrentShutdownWaitsForDrain(t *testing.T) {
+	var ran atomic.Int64
+	m := NewManager(func(ctx context.Context, payload any, progress func(int)) (any, error) {
+		time.Sleep(20 * time.Millisecond)
+		ran.Add(1)
+		return nil, nil
+	}, Config{Workers: 1})
+
+	j, _ := m.Submit(nil)
+	waitState(t, j, StateRunning)
+
+	// Both callers must block until the in-flight job finishes; the
+	// second must not return early just because shutdown already began.
+	results := make(chan int64, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			m.Shutdown(context.Background())
+			results <- ran.Load()
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if got := <-results; got != 1 {
+			t.Errorf("Shutdown returned before drain completed (ran=%d)", got)
+		}
+	}
+}
+
+func TestShutdownDeadlineAbortsJobs(t *testing.T) {
+	m := NewManager(func(ctx context.Context, payload any, progress func(int)) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, Config{Workers: 1})
+
+	j, _ := m.Submit(nil)
+	waitState(t, j, StateRunning)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := m.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+	if s := j.Snapshot().State; s != StateCancelled {
+		t.Errorf("job state = %s after forced shutdown", s)
+	}
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import "sync/atomic"
+
+// Counters aggregates service-level activity: async job lifecycle
+// transitions and batch-oracle dispatch volume. All methods are
+// goroutine-safe and nil-safe — a nil *Counters records nothing, so
+// instrumented code never needs a nil check at the call site.
+type Counters struct {
+	jobsSubmitted atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+
+	queries atomic.Int64
+
+	dispatchBatches atomic.Int64
+	dispatchCalls   atomic.Int64
+}
+
+// JobSubmitted records a job accepted into the queue.
+func (c *Counters) JobSubmitted() {
+	if c != nil {
+		c.jobsSubmitted.Add(1)
+	}
+}
+
+// JobDone records a job that finished successfully.
+func (c *Counters) JobDone() {
+	if c != nil {
+		c.jobsDone.Add(1)
+	}
+}
+
+// JobFailed records a job that finished with an error.
+func (c *Counters) JobFailed() {
+	if c != nil {
+		c.jobsFailed.Add(1)
+	}
+}
+
+// JobCancelled records a job cancelled before or during execution.
+func (c *Counters) JobCancelled() {
+	if c != nil {
+		c.jobsCancelled.Add(1)
+	}
+}
+
+// QueryExecuted records one engine query execution (sync or async).
+func (c *Counters) QueryExecuted() {
+	if c != nil {
+		c.queries.Add(1)
+	}
+}
+
+// DispatchBatch records one batch-oracle dispatch of n label fetches.
+func (c *Counters) DispatchBatch(n int) {
+	if c != nil {
+		c.dispatchBatches.Add(1)
+		c.dispatchCalls.Add(int64(n))
+	}
+}
+
+// CounterSnapshot is a point-in-time copy of all counters, shaped for
+// the /v1/stats endpoint.
+type CounterSnapshot struct {
+	JobsSubmitted   int64 `json:"jobs_submitted"`
+	JobsDone        int64 `json:"jobs_done"`
+	JobsFailed      int64 `json:"jobs_failed"`
+	JobsCancelled   int64 `json:"jobs_cancelled"`
+	Queries         int64 `json:"queries"`
+	DispatchBatches int64 `json:"oracle_dispatch_batches"`
+	DispatchCalls   int64 `json:"oracle_dispatch_calls"`
+}
+
+// Snapshot returns a consistent-enough copy of the counters (each field
+// is read atomically; cross-field skew is acceptable for monitoring).
+func (c *Counters) Snapshot() CounterSnapshot {
+	if c == nil {
+		return CounterSnapshot{}
+	}
+	return CounterSnapshot{
+		JobsSubmitted:   c.jobsSubmitted.Load(),
+		JobsDone:        c.jobsDone.Load(),
+		JobsFailed:      c.jobsFailed.Load(),
+		JobsCancelled:   c.jobsCancelled.Load(),
+		Queries:         c.queries.Load(),
+		DispatchBatches: c.dispatchBatches.Load(),
+		DispatchCalls:   c.dispatchCalls.Load(),
+	}
+}

@@ -1,0 +1,132 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"supg/internal/metrics"
+)
+
+// BatchOracle labels a set of records in one call. Implementations may
+// fetch the labels in parallel or ship them to a remote backend in one
+// round trip; the returned slice is positional (labels[i] is the label
+// of idx[i]). Labeling must be a pure function of the record index so
+// that fetch order cannot change results.
+type BatchOracle interface {
+	// LabelBatch returns the labels of idx, in idx order. On error the
+	// labels are discarded wholesale; partial results are not returned.
+	LabelBatch(ctx context.Context, idx []int) ([]bool, error)
+}
+
+// Dispatcher fans the labels of a batch out across a bounded pool of
+// goroutines, each calling the wrapped oracle's Label. It adapts any
+// per-record Oracle — a user UDF, a Simulated oracle with latency — to
+// the BatchOracle interface, overlapping slow per-call latency (the
+// dominant cost per the paper's Section 4.1) up to the configured
+// parallelism. Results are merged back positionally, so for a
+// deterministic oracle the output is identical to a sequential loop.
+//
+// The wrapped oracle must be goroutine-safe when parallelism > 1.
+type Dispatcher struct {
+	inner       Oracle
+	parallelism int
+	counters    *metrics.Counters
+}
+
+// NewDispatcher wraps inner with a dispatch width of parallelism
+// concurrent label fetches per batch. parallelism <= 1 dispatches
+// sequentially (but still batches accounting).
+func NewDispatcher(inner Oracle, parallelism int) *Dispatcher {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return &Dispatcher{inner: inner, parallelism: parallelism}
+}
+
+// WithCounters attaches service counters recording dispatch volume.
+// Returns d for chaining.
+func (d *Dispatcher) WithCounters(c *metrics.Counters) *Dispatcher {
+	d.counters = c
+	return d
+}
+
+// Parallelism returns the configured dispatch width.
+func (d *Dispatcher) Parallelism() int { return d.parallelism }
+
+// Label implements Oracle by delegating to the wrapped oracle, so a
+// Dispatcher can stand anywhere an Oracle is expected.
+func (d *Dispatcher) Label(i int) (bool, error) { return d.inner.Label(i) }
+
+// LabelBatch implements BatchOracle with bounded-parallel fan-out.
+// Workers pull positions from a shared cursor; the first error (or a
+// context cancellation) stops the remaining work and is returned.
+func (d *Dispatcher) LabelBatch(ctx context.Context, idx []int) ([]bool, error) {
+	d.counters.DispatchBatch(len(idx))
+	out := make([]bool, len(idx))
+	if len(idx) == 0 {
+		return out, nil
+	}
+
+	workers := d.parallelism
+	if workers > len(idx) {
+		workers = len(idx)
+	}
+	if workers <= 1 {
+		for i, j := range idx {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("oracle: %w", err)
+			}
+			v, err := d.inner.Label(j)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		cursor   atomic.Int64
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				pos := int(cursor.Add(1)) - 1
+				if pos >= len(idx) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(fmt.Errorf("oracle: %w", err))
+					return
+				}
+				v, err := d.inner.Label(idx[pos])
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[pos] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

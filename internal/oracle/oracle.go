@@ -8,8 +8,10 @@
 package oracle
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"supg/internal/dataset"
@@ -34,13 +36,19 @@ var ErrBudgetExhausted = errors.New("oracle: budget exhausted")
 
 // Simulated is an oracle backed by a dataset's hidden ground-truth
 // labels, with per-call accounting. It stands in for human labelers and
-// ground-truth DNNs per the substitution notes in DESIGN.md.
+// ground-truth DNNs per the substitution notes in DESIGN.md. It is safe
+// for concurrent use: the Dispatcher labels batches from multiple
+// goroutines, so the call accounting is guarded by a mutex (the latency
+// sleep happens outside the lock, so concurrent calls overlap the way
+// real oracle backends would).
 type Simulated struct {
 	data        *dataset.Dataset
-	calls       int
-	uniqueCalls map[int]struct{}
 	costPerCall float64
 	latency     time.Duration
+
+	mu          sync.Mutex
+	calls       int
+	uniqueCalls map[int]struct{}
 }
 
 // NewSimulated returns an oracle that reveals d's ground-truth labels.
@@ -68,22 +76,38 @@ func (s *Simulated) Label(i int) (bool, error) {
 	if s.latency > 0 {
 		time.Sleep(s.latency)
 	}
+	s.mu.Lock()
 	s.calls++
 	s.uniqueCalls[i] = struct{}{}
+	s.mu.Unlock()
 	return s.data.TrueLabel(i), nil
 }
 
 // Calls returns the total number of Label invocations.
-func (s *Simulated) Calls() int { return s.calls }
+func (s *Simulated) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
 
 // UniqueCalls returns the number of distinct records labeled.
-func (s *Simulated) UniqueCalls() int { return len(s.uniqueCalls) }
+func (s *Simulated) UniqueCalls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.uniqueCalls)
+}
 
 // SpentCost returns calls × cost-per-call in dollars.
-func (s *Simulated) SpentCost() float64 { return float64(s.calls) * s.costPerCall }
+func (s *Simulated) SpentCost() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return float64(s.calls) * s.costPerCall
+}
 
 // Reset clears the call accounting (not the cost configuration).
 func (s *Simulated) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.calls = 0
 	s.uniqueCalls = make(map[int]struct{})
 }
@@ -93,11 +117,17 @@ func (s *Simulated) Reset() {
 // do NOT consume budget, matching the paper's model where the label of
 // a record, once obtained, is known. Once remaining budget reaches zero
 // any uncached call fails with ErrBudgetExhausted.
+//
+// A Budgeted is owned by a single query goroutine: Label and LabelAll
+// are not safe for concurrent use with each other. LabelAll may fan the
+// underlying fetches out across goroutines (when the inner oracle is a
+// BatchOracle), but the budget accounting itself stays single-threaded.
 type Budgeted struct {
 	inner  Oracle
 	budget int
 	used   int
 	cache  map[int]bool
+	ctx    context.Context // nil = never cancelled
 }
 
 // NewBudgeted wraps inner with a limit of budget oracle calls. The
@@ -116,10 +146,31 @@ func NewBudgeted(inner Oracle, budget int) *Budgeted {
 	return &Budgeted{inner: inner, budget: budget, cache: make(map[int]bool, hint)}
 }
 
+// WithContext attaches a cancellation context: once ctx is done, every
+// subsequent uncached Label (and any LabelAll) fails with ctx's error,
+// stopping oracle consumption mid-query. Returns b for chaining.
+func (b *Budgeted) WithContext(ctx context.Context) *Budgeted {
+	b.ctx = ctx
+	return b
+}
+
+// Context returns the attached cancellation context (never nil).
+func (b *Budgeted) Context() context.Context {
+	if b.ctx == nil {
+		return context.Background()
+	}
+	return b.ctx
+}
+
 // Label implements Oracle with budget enforcement and memoization.
 func (b *Budgeted) Label(i int) (bool, error) {
 	if v, ok := b.cache[i]; ok {
 		return v, nil
+	}
+	if b.ctx != nil {
+		if err := b.ctx.Err(); err != nil {
+			return false, fmt.Errorf("oracle: %w", err)
+		}
 	}
 	if b.used >= b.budget {
 		return false, fmt.Errorf("%w (limit %d)", ErrBudgetExhausted, b.budget)
@@ -131,6 +182,114 @@ func (b *Budgeted) Label(i int) (bool, error) {
 	b.used++
 	b.cache[i] = v
 	return v, nil
+}
+
+// LabelAll labels idx in order and returns the labels positionally.
+// Budget semantics are identical to calling Label on each element of
+// idx in sequence: repeats and already-cached records are free, each
+// fresh record consumes one unit, and if the fresh records outnumber
+// the remaining budget the in-budget prefix is still fetched (and
+// cached, mirroring the partial consumption of the sequential loop)
+// before ErrBudgetExhausted is returned.
+//
+// When the inner oracle implements BatchOracle the fresh records are
+// fetched through one LabelBatch call — concurrently, if the inner
+// oracle dispatches that way — and merged back in idx order, so results
+// are bit-for-bit identical to the sequential path for any oracle that
+// is a pure function of the record index.
+func (b *Budgeted) LabelAll(idx []int) ([]bool, error) {
+	if b.ctx != nil {
+		if err := b.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("oracle: %w", err)
+		}
+	}
+	// Collect the fresh records in first-occurrence order, capped at the
+	// remaining budget exactly as a sequential Label loop would be.
+	var (
+		fetch     []int
+		fetchPos  map[int]int
+		exhausted bool
+	)
+	for _, j := range idx {
+		if _, ok := b.cache[j]; ok {
+			continue
+		}
+		if _, ok := fetchPos[j]; ok {
+			continue
+		}
+		if b.used+len(fetch) >= b.budget {
+			exhausted = true
+			break
+		}
+		if fetchPos == nil {
+			fetchPos = make(map[int]int, len(idx))
+		}
+		fetchPos[j] = len(fetch)
+		fetch = append(fetch, j)
+	}
+
+	if err := b.fetchAll(fetch); err != nil {
+		return nil, err
+	}
+	if exhausted {
+		return nil, fmt.Errorf("%w (limit %d)", ErrBudgetExhausted, b.budget)
+	}
+
+	out := make([]bool, len(idx))
+	for i, j := range idx {
+		out[i] = b.cache[j]
+	}
+	return out, nil
+}
+
+// LabelBatch implements BatchOracle, so nested Budgeted wrappers (the
+// joint query path stacks a stage budget on an unlimited one) propagate
+// batching down to the innermost dispatcher. It must be called from the
+// goroutine that owns b; the batch parallelism happens below it.
+func (b *Budgeted) LabelBatch(ctx context.Context, idx []int) ([]bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
+	return b.LabelAll(idx)
+}
+
+// fetchAll labels the deduplicated fresh records through the inner
+// oracle and folds them into the cache and budget accounting. The
+// sequential path caches and counts each success before moving on, so
+// an inner error mid-way leaves exactly the sequential loop's partial
+// state behind. The batch path is all-or-nothing per the BatchOracle
+// contract: on error the whole batch's labels (and their accounting)
+// are discarded — the one place batch and sequential execution can
+// diverge, and only on an already-failing query.
+func (b *Budgeted) fetchAll(fetch []int) error {
+	if len(fetch) == 0 {
+		return nil
+	}
+	if batch, ok := b.inner.(BatchOracle); ok {
+		labels, err := batch.LabelBatch(b.Context(), fetch)
+		if err != nil {
+			return err
+		}
+		for i, j := range fetch {
+			b.cache[j] = labels[i]
+		}
+		b.used += len(fetch)
+		return nil
+	}
+	for _, j := range fetch {
+		if b.ctx != nil {
+			if err := b.ctx.Err(); err != nil {
+				return fmt.Errorf("oracle: %w", err)
+			}
+		}
+		v, err := b.inner.Label(j)
+		if err != nil {
+			return err
+		}
+		b.cache[j] = v
+		b.used++
+	}
+	return nil
 }
 
 // Used returns the number of budget-consuming calls made so far.

@@ -1,32 +1,81 @@
 // Package server exposes the SUPG engine over HTTP, turning the batch
 // query system of the paper's Section 4.1 into a small network service:
 // upload datasets (CSV or the binary interchange format), then submit
-// SUPG statements and receive the selected record ids with execution
-// statistics. All state is in-memory; the service is a front-end to
-// engine.Engine.
+// SUPG statements — synchronously via /v1/query, or asynchronously via
+// the /v1/jobs API, which queues the query onto a bounded worker pool,
+// labels oracle draws through the concurrent batch dispatcher, and
+// serves progress and results over submit/poll. All state is
+// in-memory; the service is a front-end to engine.Engine.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"supg/internal/dataset"
 	"supg/internal/engine"
+	"supg/internal/jobs"
 	"supg/internal/metrics"
 )
 
+// Options tune the server beyond the randomness seed. The zero value
+// selects the defaults noted on each field.
+type Options struct {
+	// Workers is the async job worker-pool size (default 4).
+	Workers int
+	// OracleParallelism bounds concurrent oracle UDF calls per query
+	// (default 1 = sequential). Results are independent of the setting.
+	OracleParallelism int
+	// MaxBodyBytes caps dataset upload bodies (default 64 MiB;
+	// negative disables the cap).
+	MaxBodyBytes int64
+	// JobQueueDepth bounds the pending job queue (default 256).
+	JobQueueDepth int
+	// JobRetention is how long finished jobs stay queryable
+	// (default 15 minutes).
+	JobRetention time.Duration
+	// OracleLatency adds a per-call sleep to the oracles of datasets
+	// registered through RegisterDataset, simulating an expensive
+	// ground-truth backend for demos and latency tests.
+	OracleLatency time.Duration
+}
+
+// defaultMaxBodyBytes caps uploads at 64 MiB unless overridden.
+const defaultMaxBodyBytes = 64 << 20
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.OracleParallelism <= 0 {
+		o.OracleParallelism = 1
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	return o
+}
+
 // Server is an http.Handler serving the SUPG API:
 //
-//	GET  /healthz                      -> 200 "ok"
-//	GET  /v1/datasets                  -> JSON list of dataset summaries
-//	PUT  /v1/datasets/{name}           -> upload CSV (default) or binary
+//	GET    /healthz                    -> 200 "ok"
+//	GET    /v1/datasets                -> JSON list of dataset summaries
+//	PUT    /v1/datasets/{name}         -> upload CSV (default) or binary
 //	                                      (Content-Type: application/octet-stream)
-//	POST /v1/query                     -> {"sql": "..."} -> query result
+//	POST   /v1/query                   -> {"sql": "..."} -> query result (synchronous)
+//	POST   /v1/jobs                    -> {"sql": "..."} -> 202 + job status (async)
+//	GET    /v1/jobs                    -> list of job statuses, newest first
+//	GET    /v1/jobs/{id}               -> job status (+ result when done)
+//	DELETE /v1/jobs/{id}               -> cancel an active job / remove a finished one
+//	GET    /v1/stats                   -> service counters
 type Server struct {
 	mu     sync.RWMutex
 	engine *engine.Engine
@@ -35,32 +84,71 @@ type Server struct {
 	summaries map[string]dataset.Summary
 	datasets  map[string]*dataset.Dataset
 	mux       *http.ServeMux
+	opts      Options
+	counters  *metrics.Counters
+	manager   *jobs.Manager
 }
 
-// New returns a server whose query randomness derives from seed.
-func New(seed uint64) *Server {
+// New returns a server with default options whose query randomness
+// derives from seed.
+func New(seed uint64) *Server { return NewWithOptions(seed, Options{}) }
+
+// NewWithOptions returns a server with explicit tuning. Call Shutdown
+// to drain the job workers when done.
+func NewWithOptions(seed uint64, opts Options) *Server {
+	opts = opts.withDefaults()
 	s := &Server{
 		engine:    engine.New(seed),
 		summaries: make(map[string]dataset.Summary),
 		datasets:  make(map[string]*dataset.Dataset),
 		mux:       http.NewServeMux(),
+		opts:      opts,
+		counters:  &metrics.Counters{},
 	}
+	s.manager = jobs.NewManager(s.runJob, jobs.Config{
+		Workers:    opts.Workers,
+		QueueDepth: opts.JobQueueDepth,
+		Retention:  opts.JobRetention,
+		Counters:   s.counters,
+	})
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("/v1/datasets/", s.handleUploadDataset)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Shutdown drains the async job subsystem: no new jobs are accepted,
+// queued and running jobs finish unless ctx expires first (then they
+// are cancelled). Call after the HTTP listener has stopped.
+func (s *Server) Shutdown(ctx context.Context) error { return s.manager.Shutdown(ctx) }
+
+// Counters exposes the service counters (for tests and the stats
+// endpoint).
+func (s *Server) Counters() *metrics.Counters { return s.counters }
+
 // RegisterDataset adds a dataset directly (used by cmd/supg-server to
-// preload data and by tests).
+// preload data and by tests). When Options.OracleLatency is set the
+// dataset's oracle UDF sleeps that long per call, standing in for an
+// expensive labeling backend.
 func (s *Server) RegisterDataset(name string, d *dataset.Dataset) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.engine.RegisterDatasetDefaults(name, d)
+	if lat := s.opts.OracleLatency; lat > 0 {
+		s.engine.WrapOracle(name+"_oracle", func(inner engine.OracleUDF) engine.OracleUDF {
+			return func(i int) (bool, error) {
+				time.Sleep(lat)
+				return inner(i)
+			}
+		})
+	}
 	s.summaries[name] = d.Summarize()
 	s.datasets[name] = d
 }
@@ -112,6 +200,9 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "dataset name must be a single path segment")
 		return
 	}
+	if s.opts.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
 	defer r.Body.Close()
 
 	var (
@@ -124,6 +215,12 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		d, err = dataset.ReadCSV(r.Body, name)
 	}
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte upload limit", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -168,22 +265,54 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
-	}
-	if strings.TrimSpace(req.SQL) == "" {
-		httpError(w, http.StatusBadRequest, "missing sql")
+	req, ok := decodeQueryRequest(w, r)
+	if !ok {
 		return
 	}
 
-	res, err := s.engine.Execute(req.SQL)
+	// The synchronous path shares the batch-oracle dispatcher with the
+	// job path and is cancelled when the client disconnects.
+	res, err := s.engine.ExecuteContext(r.Context(), req.SQL, engine.ExecOptions{
+		OracleParallelism: s.opts.OracleParallelism,
+		Counters:          s.counters,
+	})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	writeJSON(w, http.StatusOK, s.buildQueryResponse(req, res))
+}
 
+// maxQueryBodyBytes caps /v1/query and /v1/jobs request bodies; a SUPG
+// statement is tiny, so 1 MiB is generous.
+const maxQueryBodyBytes = 1 << 20
+
+// decodeQueryRequest parses and validates the shared query/job request
+// body, writing the HTTP error itself when invalid.
+func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (QueryRequest, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBodyBytes)
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", tooBig.Limit))
+			return req, false
+		}
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return req, false
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		httpError(w, http.StatusBadRequest, "missing sql")
+		return req, false
+	}
+	return req, true
+}
+
+// buildQueryResponse shapes an engine result for the wire, applying the
+// request's index-list controls and attaching achieved quality metrics
+// (computable because uploaded datasets carry ground truth).
+func (s *Server) buildQueryResponse(req QueryRequest, res *engine.QueryResult) QueryResponse {
 	resp := QueryResponse{
 		Returned:    len(res.Indices),
 		OracleCalls: res.OracleCalls,
@@ -208,7 +337,135 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Truncated = true
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// runJob is the jobs.Runner executing one queued query.
+func (s *Server) runJob(ctx context.Context, payload any, progress func(int)) (any, error) {
+	req, ok := payload.(QueryRequest)
+	if !ok {
+		return nil, fmt.Errorf("server: unexpected job payload %T", payload)
+	}
+	res, err := s.engine.ExecuteContext(ctx, req.SQL, engine.ExecOptions{
+		OracleParallelism: s.opts.OracleParallelism,
+		Progress:          progress,
+		Counters:          s.counters,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := s.buildQueryResponse(req, res)
+	return &resp, nil
+}
+
+// JobInfo is the JSON shape of one job's status. Result is present
+// only once the job is done.
+type JobInfo struct {
+	ID          string         `json:"id"`
+	State       string         `json:"state"`
+	SQL         string         `json:"sql"`
+	Error       string         `json:"error,omitempty"`
+	OracleCalls int            `json:"oracle_calls"`
+	SubmittedAt time.Time      `json:"submitted_at"`
+	StartedAt   *time.Time     `json:"started_at,omitempty"`
+	FinishedAt  *time.Time     `json:"finished_at,omitempty"`
+	Result      *QueryResponse `json:"result,omitempty"`
+}
+
+func jobInfo(snap jobs.Snapshot) JobInfo {
+	info := JobInfo{
+		ID:          snap.ID,
+		State:       string(snap.State),
+		Error:       snap.Error,
+		OracleCalls: snap.OracleCalls,
+		SubmittedAt: snap.SubmittedAt,
+	}
+	if req, ok := snap.Payload.(QueryRequest); ok {
+		info.SQL = req.SQL
+	}
+	if !snap.StartedAt.IsZero() {
+		t := snap.StartedAt
+		info.StartedAt = &t
+	}
+	if !snap.FinishedAt.IsZero() {
+		t := snap.FinishedAt
+		info.FinishedAt = &t
+	}
+	if resp, ok := snap.Result.(*QueryResponse); ok {
+		info.Result = resp
+	}
+	return info
+}
+
+// handleJobs serves POST /v1/jobs (submit) and GET /v1/jobs (list).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		req, ok := decodeQueryRequest(w, r)
+		if !ok {
+			return
+		}
+		job, err := s.manager.Submit(req)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, jobInfo(job.Snapshot()))
+	case http.MethodGet:
+		snaps := s.manager.List()
+		infos := make([]JobInfo, 0, len(snaps))
+		for _, snap := range snaps {
+			snap.Result = nil // results only via GET /v1/jobs/{id}
+			infos = append(infos, jobInfo(snap))
+		}
+		writeJSON(w, http.StatusOK, infos)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use POST or GET")
+	}
+}
+
+// handleJobByID serves GET /v1/jobs/{id} (status + result) and
+// DELETE /v1/jobs/{id} (cancel an active job, remove a finished one).
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		httpError(w, http.StatusBadRequest, "job id must be a single path segment")
+		return
+	}
+	job, ok := s.manager.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, jobInfo(job.Snapshot()))
+	case http.MethodDelete:
+		if job.Snapshot().State.Terminal() {
+			if err := s.manager.Remove(id); err != nil {
+				httpError(w, http.StatusConflict, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, jobInfo(job.Snapshot()))
+			return
+		}
+		if _, err := s.manager.Cancel(id); err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, jobInfo(job.Snapshot()))
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET or DELETE")
+	}
+}
+
+// handleStats serves the service counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.counters.Snapshot())
 }
 
 // errorBody is the JSON error envelope.
