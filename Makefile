@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check bench
+# Pre-PR total-coverage baseline; cover-check fails when the suite
+# drops below it. Raise it when coverage durably improves.
+COVER_FLOOR ?= 79.1
+
+.PHONY: all build test test-race vet fmt-check bench cover cover-check fuzz-smoke
 
 all: build vet test
 
@@ -23,6 +27,25 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Writes cover.out and prints the total statement coverage.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -1
+
+# Fails when total coverage drops below the pre-PR baseline.
+cover-check: cover
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { gsub("%","",$$NF); print $$NF }'); \
+	echo "total coverage $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% fell below the $(COVER_FLOOR)% baseline"; exit 1; }
+
+# Short native-fuzzing runs of the dataset parsers (CI smoke; use
+# go test -fuzz directly for long local sessions).
+fuzz-smoke:
+	$(GO) test ./internal/dataset -run '^$$' -fuzz '^FuzzLoadCSV$$' -fuzztime 10s
+	$(GO) test ./internal/dataset -run '^$$' -fuzz '^FuzzLoadBinary$$' -fuzztime 10s
+
 bench:
 	$(GO) test ./internal/engine -bench SelectHotPath -benchmem -run '^$$'
+	$(GO) test ./internal/index -bench 'IndexBuild|IndexAppend' -benchmem -run '^$$'
 	$(GO) test . -bench . -run '^$$'

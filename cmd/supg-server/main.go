@@ -12,6 +12,10 @@
 //	GET    /v1/datasets
 //	PUT    /v1/datasets/{name}    body: CSV (id,proxy_score,label) or
 //	                              binary with Content-Type: application/octet-stream
+//	PUT    /v1/datasets/{name}/append
+//	                              append records to an uploaded dataset (same
+//	                              body formats); cached score indexes extend
+//	                              incrementally instead of rebuilding
 //	POST   /v1/query              body: {"sql": "SELECT * FROM ..."} (synchronous)
 //	POST   /v1/jobs               same body; returns 202 + job id (asynchronous)
 //	GET    /v1/jobs               list job statuses
@@ -62,16 +66,20 @@ func main() {
 		maxBody     = flag.Int64("max-body-bytes", 64<<20, "dataset upload size limit in bytes (negative disables)")
 		retention   = flag.Duration("job-retention", 15*time.Minute, "how long finished jobs stay queryable")
 		oracleLat   = flag.Duration("oracle-latency", 0, "simulated per-call oracle latency for every registered dataset (preloads and uploads)")
+		segSize     = flag.Int("segment-size", 0, "records per score-index segment (0 = default 256Ki); identical results at any setting")
+		buildPar    = flag.Int("index-build-parallelism", 0, "concurrent segment builds per index (0 = GOMAXPROCS)")
 		grace       = flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight jobs on shutdown")
 	)
 	flag.Parse()
 
 	srv := server.NewWithOptions(*seed, server.Options{
-		Workers:           *workers,
-		OracleParallelism: *parallelism,
-		MaxBodyBytes:      *maxBody,
-		JobRetention:      *retention,
-		OracleLatency:     *oracleLat,
+		Workers:               *workers,
+		OracleParallelism:     *parallelism,
+		MaxBodyBytes:          *maxBody,
+		JobRetention:          *retention,
+		OracleLatency:         *oracleLat,
+		SegmentSize:           *segSize,
+		IndexBuildParallelism: *buildPar,
 	})
 	if *preload != "" {
 		r := randx.New(*seed)

@@ -67,6 +67,48 @@
 // The one-shot supg.Run path computes the same artifacts lazily per
 // call and returns bit-identical results for the same seed.
 //
+// # Segmented index and incremental appends
+//
+// The ScoreIndex is segmented: the column is split into fixed-size
+// segments (default 256Ki records, tunable via engine/server options),
+// each holding its own sorted (score, id) permutation, built in
+// parallel across a bounded worker pool at registration time. The
+// layout is invisible to queries — threshold counts sum per-segment
+// binary searches, order statistics come from an exact bit-space
+// binary search, suffix extraction concatenates per-segment ascending
+// id runs, and the defensive-mixture weights are computed with the
+// exact arithmetic and summation order of the monolithic code before
+// feeding the same global alias table — so results are bit-for-bit
+// identical at every segment size, which the test suite asserts
+// segment size by segment size.
+//
+// Segmentation buys two operational properties. Registration of large
+// tables parallelizes (segments sort independently; even serially,
+// n·log(segment) beats n·log(n)). And tables can grow in place:
+// engine.AppendTable / PUT /v1/datasets/{name}/append extend a table
+// by indexing only the appended records as fresh segments — existing
+// permutations are reused verbatim — instead of re-scanning and
+// re-sorting everything, making a 256k-record append several times
+// cheaper than re-registration while cached queries keep running
+// against the old index until the extension is published.
+//
+// # Testing guarantees
+//
+// The guarantee machinery is protected by two complementary test
+// layers. Equivalence tests pin the implementation: for fixed seeds,
+// the segmented path must return byte-identical Indices and Tau to the
+// monolithic and raw-slice paths across estimator families
+// (SUPG/U-CI/U-NoCI/finite-sample), query kinds (recall, precision,
+// joint), segment sizes (1, 7, 1024, n), and growth histories (one
+// shot vs chains of appends). Statistical regression tests pin the
+// semantics: a deterministic-seed Monte-Carlo harness (the Figure 5/6
+// failure-rate machinery at reduced scale) runs repeated trials on the
+// segmented path and asserts the empirical failure rate stays within
+// delta plus a slack chosen so the check cannot flake. The dataset
+// parsers guarding the upload/append endpoints carry native Go fuzz
+// targets with committed seed corpora, and a -race stress test
+// exercises concurrent append + query + re-registration.
+//
 // # Async jobs and concurrent oracle dispatch
 //
 // The oracle dominates query latency (it models a human labeler or a

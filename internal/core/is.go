@@ -148,16 +148,20 @@ func estimateISPrecisionTwoStage(r *randx.Rand, src ScoreSource, o *oracle.Budge
 // the sample's m(x) factors normalize over (|D| or |D'|).
 func certifyMinPrecisionTau(s *labeledSample, src ScoreSource, domainSize float64, spec Spec, cfg Config, b bounder, delta float64) float64 {
 	n := s.len()
-	numCandidates := n / cfg.MinStep
-	if numCandidates < 1 {
-		numCandidates = 1
+	// Clamp the stride to the sample size so a budget below MinStep
+	// still yields one candidate (the full sample) instead of none —
+	// the uniform variant in uci.go applies the same clamp.
+	step := cfg.MinStep
+	if step > n {
+		step = n
 	}
+	numCandidates := n / step
 	deltaEach := delta / float64(numCandidates)
 	rangeHint := math.Max(s.maxM, 1)
 
 	y := make([]float64, n)
 	prev := math.Inf(-1)
-	for i := cfg.MinStep; i <= n; i += cfg.MinStep {
+	for i := step; i <= n; i += step {
 		cand := s.score[i-1]
 		if cand == prev {
 			continue

@@ -123,16 +123,21 @@ func estimateUCIPrecision(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, sp
 	b := newBounder(cfg, r.Stream(0xb1))
 
 	n := s.len()
-	numCandidates := n / cfg.MinStep
-	if numCandidates < 1 {
-		numCandidates = 1
+	// Clamp the stride to the sample size: a budget below MinStep
+	// otherwise yields a phantom candidate past the sample's end
+	// (historically an out-of-range panic). The single surviving
+	// candidate is the full sample — the most conservative threshold.
+	step := cfg.MinStep
+	if step > n {
+		step = n
 	}
+	numCandidates := n / step
 	deltaEach := spec.Delta / float64(numCandidates)
 
 	tau := noSelectionTau()
 	// Scan candidates from the lowest threshold upward so the first
 	// certified candidate is the minimal one.
-	for i := numCandidates * cfg.MinStep; i >= cfg.MinStep; i -= cfg.MinStep {
+	for i := numCandidates * step; i >= step; i -= step {
 		cand := s.score[n-i] // i-th highest sampled score
 		// Extend left over ties so Z is exactly {x in S : A(x) >= cand}.
 		j := n - i

@@ -67,16 +67,30 @@ func ReadBinary(r io.Reader, name string) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset: implausible record count %d", count)
 	}
 	n := int(count)
-	scores := make([]float64, n)
-	for i := 0; i < n; i++ {
+	// Allocate incrementally rather than trusting the header's count
+	// up front: a corrupt or hostile header can claim 2^33 records
+	// (64 GiB of scores) while the stream holds a few bytes, and the
+	// parse must fail with a read error, not an OOM. Growth is capped
+	// by what the stream actually delivers.
+	const chunkRecords = 1 << 16
+	scores := make([]float64, 0, min(n, chunkRecords))
+	for len(scores) < n {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("dataset: read score %d: %w", i, err)
+			return nil, fmt.Errorf("dataset: read score %d: %w", len(scores), err)
 		}
-		scores[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		scores = append(scores, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
 	}
-	bits := make([]byte, (n+7)/8)
-	if _, err := io.ReadFull(br, bits); err != nil {
-		return nil, fmt.Errorf("dataset: read labels: %w", err)
+	bits := make([]byte, 0, min((n+7)/8, chunkRecords))
+	var chunk [4096]byte
+	for len(bits) < (n+7)/8 {
+		want := (n+7)/8 - len(bits)
+		if want > len(chunk) {
+			want = len(chunk)
+		}
+		if _, err := io.ReadFull(br, chunk[:want]); err != nil {
+			return nil, fmt.Errorf("dataset: read labels: %w", err)
+		}
+		bits = append(bits, chunk[:want]...)
 	}
 	labels := make([]bool, n)
 	for i := 0; i < n; i++ {

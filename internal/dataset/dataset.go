@@ -100,6 +100,30 @@ func (d *Dataset) WithName(name string) *Dataset {
 	return &Dataset{name: name, scores: d.scores, labels: d.labels}
 }
 
+// Append returns a new dataset holding d's records followed by
+// extra's; both inputs are left untouched (slices are copied). The
+// name is d's. Appended records take the ids [d.Len(), d.Len()+
+// extra.Len()), which is what makes incremental index appends safe:
+// existing ids keep their scores and labels bit for bit.
+func (d *Dataset) Append(extra *Dataset) *Dataset {
+	scores := make([]float64, 0, len(d.scores)+extra.Len())
+	scores = append(append(scores, d.scores...), extra.scores...)
+	labels := make([]bool, 0, len(d.labels)+extra.Len())
+	labels = append(append(labels, d.labels...), extra.labels...)
+	return &Dataset{name: d.name, scores: scores, labels: labels}
+}
+
+// Slice returns a new dataset over records [lo, hi) of d, with copied
+// columns. It panics if the range is invalid; an empty range yields a
+// dataset New would reject, so callers slice at least one record.
+func (d *Dataset) Slice(lo, hi int) *Dataset {
+	scores := make([]float64, hi-lo)
+	copy(scores, d.scores[lo:hi])
+	labels := make([]bool, hi-lo)
+	copy(labels, d.labels[lo:hi])
+	return &Dataset{name: d.name, scores: scores, labels: labels}
+}
+
 // Clone returns a deep copy of d, so transforms can mutate safely.
 func (d *Dataset) Clone() *Dataset {
 	scores := make([]float64, len(d.scores))

@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"supg/internal/randx"
+)
+
+// Native Go fuzz targets for the two on-the-wire parsers. The parsers
+// guard the HTTP upload and append endpoints, so the contract under
+// fuzzing is: arbitrary bytes must produce either a valid dataset or
+// an error — never a panic, never an OOM from a lying header, and any
+// dataset that parses must round-trip through the matching writer.
+
+// validCSV returns well-formed interchange bytes for the seed corpus.
+func validCSV(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	d := Beta(randx.New(5), 50, 0.5, 1)
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// validBinary returns well-formed binary interchange bytes.
+func validBinary(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	d := Beta(randx.New(6), 50, 0.5, 1)
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzLoadCSV(f *testing.F) {
+	f.Add(validCSV(f))
+	f.Add([]byte("id,proxy_score,label\n0,0.5,1\n"))
+	f.Add([]byte("id,proxy_score,label\n0,0.5,1\n1,0.25,0\n2,1,true\n"))
+	f.Add([]byte("id,proxy_score,label\n0,1.5,1\n"))        // score out of range
+	f.Add([]byte("id,proxy_score,label\n0,NaN,1\n"))        // NaN score
+	f.Add([]byte("id,proxy_score,label\n0,0.5,maybe\n"))    // bad label
+	f.Add([]byte("id,proxy_score,label\n0,0.5\n"))          // short row
+	f.Add([]byte("id,wrong,header\n"))                      // bad header
+	f.Add([]byte(""))                                       // empty
+	f.Add([]byte("id,proxy_score,label\n0,-0.1,0\n"))       // negative score
+	f.Add([]byte("id,proxy_score,label\n\xff\xfe,0.5,1\n")) // junk bytes
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadCSV(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		assertRoundTrips(t, d, data)
+	})
+}
+
+func FuzzLoadBinary(f *testing.F) {
+	f.Add(validBinary(f))
+	f.Add([]byte("SUPGDS1\n"))    // magic, no count
+	f.Add([]byte("NOTMAGIC\x00")) // wrong magic
+	f.Add([]byte(""))             // empty
+	truncated := validBinary(f)
+	f.Add(truncated[:len(truncated)-3]) // truncated labels
+	f.Add(truncated[:20])               // truncated scores
+	// A header claiming 2^32 records followed by almost no data: the
+	// chunked reader must fail on the short stream, not allocate 32 GiB.
+	lying := append([]byte("SUPGDS1\n"), 0, 0, 0, 0, 1, 0, 0, 0)
+	f.Add(append(lying, 1, 2, 3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadBinary(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, d); err != nil {
+			t.Fatalf("parsed dataset failed to serialize: %v", err)
+		}
+		d2, err := ReadBinary(&buf, "fuzz")
+		if err != nil {
+			t.Fatalf("serialized dataset failed to re-parse: %v", err)
+		}
+		assertSameDataset(t, d, d2)
+	})
+}
+
+// assertRoundTrips checks WriteCSV(ReadCSV(data)) re-parses to the
+// same records. The textual form may differ from data (float
+// formatting, label spellings), so the comparison is semantic.
+func assertRoundTrips(t *testing.T, d *Dataset, data []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatalf("parsed dataset failed to serialize: %v", err)
+	}
+	d2, err := ReadCSV(&buf, "fuzz")
+	if err != nil {
+		t.Fatalf("serialized dataset failed to re-parse: %v", err)
+	}
+	assertSameDataset(t, d, d2)
+}
+
+func assertSameDataset(t *testing.T, a, b *Dataset) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("round trip changed length: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Score(i) != b.Score(i) || a.TrueLabel(i) != b.TrueLabel(i) {
+			t.Fatalf("round trip changed record %d: (%v,%v) vs (%v,%v)",
+				i, a.Score(i), a.TrueLabel(i), b.Score(i), b.TrueLabel(i))
+		}
+	}
+}

@@ -46,19 +46,53 @@ type indexKey struct {
 
 // indexEntry is a lazily-built, shared ScoreIndex. The sync.Once makes
 // concurrent first queries of the same (table, proxy) pair build the
-// index exactly once while the others wait for it. The table and proxy
-// are snapshotted under the same lock that publishes the entry into the
-// cache, so an entry can never be built from registrations older than
-// the ones its cache slot represents (a later re-registration deletes
-// the slot, and the next query snapshots fresh state).
+// index exactly once while the others wait for it. The build closure
+// snapshots the table and proxy under the same lock that publishes the
+// entry into the cache, so an entry can never be built from
+// registrations older than the ones its cache slot represents (a later
+// re-registration deletes the slot, and the next query snapshots fresh
+// state). An append publishes a new entry whose closure chains on the
+// replaced one, indexing only the appended records.
 type indexEntry struct {
-	table *dataset.Dataset
-	proxy ProxyUDF
+	// build produces the index plus the number of proxy evaluations it
+	// performed. Set at entry creation, run at most once via ensure.
+	build func() (*index.ScoreIndex, int, error)
 
-	once    sync.Once
-	ix      *index.ScoreIndex
-	err     error
-	elapsed time.Duration // wall time of the proxy scan + index build
+	once       sync.Once
+	ix         *index.ScoreIndex
+	proxyCalls int
+	err        error
+	elapsed    time.Duration // wall time of the proxy scan + index build
+}
+
+// ensure runs the entry's build exactly once (concurrent callers wait)
+// and reports whether this call performed it.
+func (en *indexEntry) ensure() bool {
+	ran := false
+	en.once.Do(func() {
+		ran = true
+		start := time.Now()
+		en.ix, en.proxyCalls, en.err = en.build()
+		en.elapsed = time.Since(start)
+		// Release the closure: an append entry's build holds the whole
+		// parent-entry chain (old indexes, captured datasets), which
+		// must not stay reachable once this index is published.
+		en.build = nil
+	})
+	return ran
+}
+
+// Options tune index construction for all tables of an engine. The
+// zero value selects the index package defaults.
+type Options struct {
+	// SegmentSize is the records-per-segment of every built score index
+	// (<= 0 selects index.DefaultSegmentSize). Smaller segments mean
+	// finer-grained parallel builds and cheaper appends; results are
+	// identical at every setting.
+	SegmentSize int
+	// BuildParallelism bounds concurrent segment builds per index
+	// (<= 0 selects GOMAXPROCS).
+	BuildParallelism int
 }
 
 // Engine holds the catalog of tables, the UDF registry, and the cache
@@ -69,17 +103,34 @@ type Engine struct {
 	oracles map[string]OracleUDF
 	proxies map[string]ProxyUDF
 	indexes map[indexKey]*indexEntry
-	seed    uint64
+	// refs backs the dataset-default UDFs (RegisterDatasetDefaults):
+	// the closures read the current dataset through the pointer, so
+	// AppendTable can extend their domain in place. Re-registration
+	// installs a fresh pointer, leaving in-flight builds reading the
+	// old snapshot — never torn data.
+	refs   map[string]*atomic.Pointer[dataset.Dataset]
+	seed   uint64
+	ixOpts index.Options
 }
 
 // New returns an empty engine whose query randomness derives from seed.
 func New(seed uint64) *Engine {
+	return NewWithOptions(seed, Options{})
+}
+
+// NewWithOptions is New with explicit index-construction tuning.
+func NewWithOptions(seed uint64, opts Options) *Engine {
 	return &Engine{
 		tables:  make(map[string]*dataset.Dataset),
 		oracles: make(map[string]OracleUDF),
 		proxies: make(map[string]ProxyUDF),
 		indexes: make(map[indexKey]*indexEntry),
+		refs:    make(map[string]*atomic.Pointer[dataset.Dataset]),
 		seed:    seed,
+		ixOpts: index.Options{
+			SegmentSize: opts.SegmentSize,
+			Parallelism: opts.BuildParallelism,
+		},
 	}
 }
 
@@ -89,11 +140,70 @@ func (e *Engine) RegisterTable(name string, d *dataset.Dataset) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.tables[name] = d
+	delete(e.refs, name) // a direct registration detaches default UDF refs
 	for k := range e.indexes {
 		if k.table == name {
 			delete(e.indexes, k)
 		}
 	}
+}
+
+// AppendTable atomically extends table name with extra's records,
+// which take the ids [old len, new len). Unlike re-registration, every
+// cached index of the table survives: its slot is republished as an
+// incremental entry that — on next use — evaluates the proxy over only
+// the appended records and merges them into the existing index as a
+// fresh segment, instead of re-scanning and re-sorting the whole
+// table. Registered UDFs must accept the extended id range; the
+// dataset-default UDFs (RegisterDatasetDefaults) are extended
+// automatically. The combined dataset is returned.
+func (e *Engine) AppendTable(name string, extra *dataset.Dataset) (*dataset.Dataset, error) {
+	if extra == nil || extra.Len() == 0 {
+		return nil, fmt.Errorf("engine: empty append to table %q", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q (known: %v)", name, e.tableNamesLocked())
+	}
+	combined := old.Append(extra)
+	e.tables[name] = combined
+	if ref, ok := e.refs[name]; ok {
+		// Extend the default UDFs' domain. Scores and labels of existing
+		// ids are value-identical in the combined dataset, so in-flight
+		// index builds reading through the pointer cannot observe torn
+		// state.
+		ref.Store(combined)
+	}
+	oldLen, newLen := old.Len(), combined.Len()
+	for key, parent := range e.indexes {
+		if key.table != name {
+			continue
+		}
+		proxyFn, ok := e.proxies[key.proxy]
+		if !ok {
+			delete(e.indexes, key)
+			continue
+		}
+		key := key
+		e.indexes[key] = &indexEntry{build: func() (*index.ScoreIndex, int, error) {
+			calls := 0
+			if parent.ensure() {
+				calls += parent.proxyCalls
+			}
+			if parent.err != nil {
+				return nil, calls, parent.err
+			}
+			fresh := scoreRange(proxyFn, oldLen, newLen)
+			ix, err := parent.ix.Append(fresh)
+			if err != nil {
+				return nil, calls, fmt.Errorf("engine: proxy %q: %w", key.proxy, err)
+			}
+			return ix, calls + (newLen - oldLen), nil
+		}}
+	}
+	return combined, nil
 }
 
 // RegisterOracle adds an oracle UDF under the given function name.
@@ -133,16 +243,37 @@ func (e *Engine) WrapOracle(name string, wrap func(OracleUDF) OracleUDF) bool {
 
 // RegisterDatasetDefaults registers table name plus "<name>_oracle" and
 // "<name>_proxy" UDFs backed by the dataset's own labels and scores —
-// the common simulation path.
+// the common simulation path. The UDFs read the dataset through an
+// indirection the engine updates on AppendTable, so appended records
+// are scorable and labelable without re-registering (which would
+// invalidate cached indexes). Re-registering defaults installs a fresh
+// indirection: queries already building against the old registration
+// keep reading the old snapshot.
 func (e *Engine) RegisterDatasetDefaults(name string, d *dataset.Dataset) {
-	e.RegisterTable(name, d)
-	e.RegisterOracle(name+"_oracle", func(i int) (bool, error) {
-		if i < 0 || i >= d.Len() {
+	ref := &atomic.Pointer[dataset.Dataset]{}
+	ref.Store(d)
+	oracleName, proxyName := name+"_oracle", name+"_proxy"
+	// One critical section for table, UDFs, ref, and invalidation: a
+	// concurrent AppendTable interleaving between the steps could
+	// otherwise extend the table without extending the ref the UDFs
+	// read, and the next proxy scan would index out of range.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tables[name] = d
+	e.oracles[oracleName] = func(i int) (bool, error) {
+		cur := ref.Load()
+		if i < 0 || i >= cur.Len() {
 			return false, fmt.Errorf("engine: record %d out of range", i)
 		}
-		return d.TrueLabel(i), nil
-	})
-	e.RegisterProxy(name+"_proxy", func(i int) float64 { return d.Score(i) })
+		return cur.TrueLabel(i), nil
+	}
+	e.proxies[proxyName] = func(i int) float64 { return ref.Load().Score(i) }
+	e.refs[name] = ref
+	for k := range e.indexes {
+		if k.table == name || k.proxy == proxyName {
+			delete(e.indexes, k)
+		}
+	}
 }
 
 // QueryResult is the engine-level answer with execution statistics.
@@ -154,8 +285,9 @@ type QueryResult struct {
 	// OracleCalls counts budget-consuming oracle invocations.
 	OracleCalls int
 	// ProxyCalls counts proxy evaluations performed by this query: |D|
-	// when the query built the table's score index, 0 when a cached
-	// index was reused.
+	// when the query built the table's score index from scratch, only
+	// the appended records when it extended an index after AppendTable,
+	// and 0 when a cached index was reused.
 	ProxyCalls int
 	// IndexBuilt reports whether this query performed the proxy scan
 	// and index construction (the first query of a table/proxy pair).
@@ -250,7 +382,7 @@ func (e *Engine) ExecutePlanContext(ctx context.Context, plan *query.Plan, opts 
 
 	res := &QueryResult{Plan: plan, IndexBuilt: built}
 	if built {
-		res.ProxyCalls = entry.ix.Len()
+		res.ProxyCalls = entry.proxyCalls
 		res.ProxyElapsed = entry.elapsed
 	}
 	switch plan.Kind {
@@ -313,14 +445,14 @@ func (c *countingOracle) Label(i int) (bool, error) {
 // tableIndex returns the shared ScoreIndex for the plan's (table,
 // proxy) pair, building it on first use. The second return reports
 // whether this call performed the build. The current table and proxy
-// registrations are captured under the write lock that publishes the
-// entry, so a concurrent re-registration either deletes the slot
-// before publication (the build sees the new state) or after (the
-// slot is gone and the next query snapshots afresh) — a cached index
-// can never outlive the registrations it was built from. A build
-// error is cached with the entry — the proxy is deterministic by
-// contract, so retrying cannot succeed until the table or proxy is
-// re-registered (which drops the entry).
+// registrations are captured (into the build closure) under the write
+// lock that publishes the entry, so a concurrent re-registration
+// either deletes the slot before publication (the build sees the new
+// state) or after (the slot is gone and the next query snapshots
+// afresh) — a cached index can never outlive the registrations it was
+// built from. A build error is cached with the entry — the proxy is
+// deterministic by contract, so retrying cannot succeed until the
+// table or proxy is re-registered (which drops the entry).
 func (e *Engine) tableIndex(plan *query.Plan) (*indexEntry, bool, error) {
 	key := indexKey{table: plan.Table, proxy: plan.ProxyUDF}
 	e.mu.RLock()
@@ -336,24 +468,20 @@ func (e *Engine) tableIndex(plan *query.Plan) (*indexEntry, bool, error) {
 				e.mu.Unlock()
 				return nil, false, fmt.Errorf("engine: table %q / proxy %q no longer registered", plan.Table, plan.ProxyUDF)
 			}
-			entry = &indexEntry{table: table, proxy: proxyFn}
+			opts := e.ixOpts
+			entry = &indexEntry{build: func() (*index.ScoreIndex, int, error) {
+				scores := scoreRange(proxyFn, 0, table.Len())
+				ix, err := index.NewWithOptions(scores, opts)
+				if err != nil {
+					return nil, table.Len(), fmt.Errorf("engine: proxy %q: %w", plan.ProxyUDF, err)
+				}
+				return ix, table.Len(), nil
+			}}
 			e.indexes[key] = entry
 		}
 		e.mu.Unlock()
 	}
-	built := false
-	entry.once.Do(func() {
-		built = true
-		buildStart := time.Now()
-		scores := scoreAll(entry.proxy, entry.table.Len())
-		ix, err := index.New(scores)
-		if err != nil {
-			entry.err = fmt.Errorf("engine: proxy %q: %w", plan.ProxyUDF, err)
-			return
-		}
-		entry.ix = ix
-		entry.elapsed = time.Since(buildStart)
-	})
+	built := entry.ensure()
 	if entry.err != nil {
 		return nil, built, entry.err
 	}
@@ -362,6 +490,13 @@ func (e *Engine) tableIndex(plan *query.Plan) (*indexEntry, bool, error) {
 
 // scoreAll evaluates the proxy over all records, in parallel shards.
 func scoreAll(proxyFn ProxyUDF, n int) []float64 {
+	return scoreRange(proxyFn, 0, n)
+}
+
+// scoreRange evaluates the proxy over records [lo, hi), in parallel
+// shards, returning the hi-lo scores in record order.
+func scoreRange(proxyFn ProxyUDF, lo, hi int) []float64 {
+	n := hi - lo
 	scores := make([]float64, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -370,21 +505,21 @@ func scoreAll(proxyFn ProxyUDF, n int) []float64 {
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+		start := w * chunk
+		end := start + chunk
+		if end > n {
+			end = n
 		}
-		if lo >= hi {
+		if start >= end {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(start, end int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				scores[i] = proxyFn(i)
+			for i := start; i < end; i++ {
+				scores[i] = proxyFn(lo + i)
 			}
-		}(lo, hi)
+		}(start, end)
 	}
 	wg.Wait()
 	return scores
@@ -393,6 +528,11 @@ func scoreAll(proxyFn ProxyUDF, n int) []float64 {
 func (e *Engine) tableNames() []string {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	return e.tableNamesLocked()
+}
+
+// tableNamesLocked is tableNames for callers already holding e.mu.
+func (e *Engine) tableNamesLocked() []string {
 	names := make([]string, 0, len(e.tables))
 	for n := range e.tables {
 		names = append(names, n)

@@ -145,6 +145,27 @@ func IDs() []string {
 // each consumes a deterministic random stream, so results are
 // reproducible regardless of scheduling.
 func runTrials(r *randx.Rand, d *dataset.Dataset, spec core.Spec, cfg core.Config, trials, parallelism int) (*metrics.TrialSet, error) {
+	return runTrialsVia(r, d, trials, parallelism,
+		func(rt *randx.Rand) (core.Result, error) {
+			return core.Select(rt, d.Scores(), oracle.NewSimulated(d), spec, cfg)
+		})
+}
+
+// runTrialsFrom is runTrials over a prebuilt ScoreSource (e.g. a
+// segmented index.ScoreIndex shared across trials) — the harness the
+// guarantee regression tests use to Monte-Carlo the indexed hot path
+// rather than the raw-slice path.
+func runTrialsFrom(r *randx.Rand, d *dataset.Dataset, src core.ScoreSource, spec core.Spec, cfg core.Config, trials, parallelism int) (*metrics.TrialSet, error) {
+	return runTrialsVia(r, d, trials, parallelism,
+		func(rt *randx.Rand) (core.Result, error) {
+			return core.SelectFrom(rt, src, oracle.NewSimulated(d), spec, cfg)
+		})
+}
+
+// runTrialsVia is the shared trial loop: one deterministic stream per
+// trial, bounded parallelism, quality evaluated against ground truth.
+func runTrialsVia(r *randx.Rand, d *dataset.Dataset, trials, parallelism int,
+	run func(*randx.Rand) (core.Result, error)) (*metrics.TrialSet, error) {
 	type outcome struct {
 		eval  metrics.Eval
 		calls int
@@ -160,7 +181,7 @@ func runTrials(r *randx.Rand, d *dataset.Dataset, spec core.Spec, cfg core.Confi
 			defer wg.Done()
 			defer func() { <-sem }()
 			rt := r.Stream(uint64(t) + 1)
-			res, err := core.Select(rt, d.Scores(), oracle.NewSimulated(d), spec, cfg)
+			res, err := run(rt)
 			if err != nil {
 				results[t] = outcome{err: err}
 				return

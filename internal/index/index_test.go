@@ -48,9 +48,12 @@ func TestSortedPermutationWithTies(t *testing.T) {
 	}
 	// Ascending by (score, id): 5(0.0) 1(0.1) 0(0.5) 3(0.5) 4(0.5) 2(0.9).
 	want := []int{5, 1, 0, 3, 4, 2}
-	for i, p := range ix.perm {
+	if len(ix.segs) != 1 {
+		t.Fatalf("%d records built %d segments, want 1", len(scores), len(ix.segs))
+	}
+	for i, p := range ix.segs[0].perm {
 		if p != want[i] {
-			t.Fatalf("perm = %v, want %v", ix.perm, want)
+			t.Fatalf("perm = %v, want %v", ix.segs[0].perm, want)
 		}
 	}
 	if got := ix.CountAtLeast(0.5); got != 4 {

@@ -46,6 +46,13 @@ type Options struct {
 	// registered through RegisterDataset, simulating an expensive
 	// ground-truth backend for demos and latency tests.
 	OracleLatency time.Duration
+	// SegmentSize is the records-per-segment of built score indexes
+	// (default index.DefaultSegmentSize). Results are identical at any
+	// setting; it tunes build parallelism granularity and append cost.
+	SegmentSize int
+	// IndexBuildParallelism bounds concurrent segment builds per index
+	// (default GOMAXPROCS).
+	IndexBuildParallelism int
 }
 
 // defaultMaxBodyBytes caps uploads at 64 MiB unless overridden.
@@ -70,6 +77,9 @@ func (o Options) withDefaults() Options {
 //	GET    /v1/datasets                -> JSON list of dataset summaries
 //	PUT    /v1/datasets/{name}         -> upload CSV (default) or binary
 //	                                      (Content-Type: application/octet-stream)
+//	PUT    /v1/datasets/{name}/append  -> append records to an uploaded dataset
+//	                                      (same body formats; indexes extend
+//	                                      incrementally instead of rebuilding)
 //	POST   /v1/query                   -> {"sql": "..."} -> query result (synchronous)
 //	POST   /v1/jobs                    -> {"sql": "..."} -> 202 + job status (async)
 //	GET    /v1/jobs                    -> list of job statuses, newest first
@@ -98,7 +108,10 @@ func New(seed uint64) *Server { return NewWithOptions(seed, Options{}) }
 func NewWithOptions(seed uint64, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		engine:    engine.New(seed),
+		engine: engine.NewWithOptions(seed, engine.Options{
+			SegmentSize:      opts.SegmentSize,
+			BuildParallelism: opts.IndexBuildParallelism,
+		}),
 		summaries: make(map[string]dataset.Summary),
 		datasets:  make(map[string]*dataset.Dataset),
 		mux:       http.NewServeMux(),
@@ -190,12 +203,23 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infos)
 }
 
+// AppendResponse is the PUT /v1/datasets/{name}/append output: the
+// combined dataset's summary plus the number of records appended.
+type AppendResponse struct {
+	DatasetInfo
+	Appended int `json:"appended"`
+}
+
 func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPut && r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "use PUT or POST")
 		return
 	}
 	name := strings.TrimPrefix(r.URL.Path, "/v1/datasets/")
+	appendMode := false
+	if base, ok := strings.CutSuffix(name, "/append"); ok {
+		name, appendMode = base, true
+	}
 	if name == "" || strings.Contains(name, "/") {
 		httpError(w, http.StatusBadRequest, "dataset name must be a single path segment")
 		return
@@ -224,11 +248,46 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if appendMode {
+		s.handleAppendDataset(w, name, d)
+		return
+	}
 	s.RegisterDataset(name, d)
 	sum := d.Summarize()
 	writeJSON(w, http.StatusCreated, DatasetInfo{
 		Name: name, Records: sum.Records, Positives: sum.Positives, TPR: sum.TPR,
 		OracleUDF: name + "_oracle", ProxyUDF: name + "_proxy",
+	})
+}
+
+// handleAppendDataset extends an uploaded dataset in place. Unlike a
+// re-upload, the table's cached score indexes survive: the engine
+// indexes only the appended records (a fresh segment) on the next
+// query instead of re-scanning and re-sorting the whole table.
+func (s *Server) handleAppendDataset(w http.ResponseWriter, name string, extra *dataset.Dataset) {
+	var sum dataset.Summary
+	s.mu.Lock()
+	combined, err := s.engine.AppendTable(name, extra)
+	if err == nil {
+		sum = combined.Summarize()
+		s.summaries[name] = sum
+		s.datasets[name] = combined
+	}
+	s.mu.Unlock()
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "unknown table") {
+			code = http.StatusNotFound
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, AppendResponse{
+		DatasetInfo: DatasetInfo{
+			Name: name, Records: sum.Records, Positives: sum.Positives, TPR: sum.TPR,
+			OracleUDF: name + "_oracle", ProxyUDF: name + "_proxy",
+		},
+		Appended: extra.Len(),
 	})
 }
 
