@@ -4,7 +4,7 @@ GO ?= go
 # drops below it. Raise it when coverage durably improves.
 COVER_FLOOR ?= 79.1
 
-.PHONY: all build test test-race vet fmt-check bench cover cover-check fuzz-smoke
+.PHONY: all build test test-race vet fmt-check bench bench-labelstore cover cover-check fuzz-smoke
 
 all: build vet test
 
@@ -49,3 +49,10 @@ bench:
 	$(GO) test ./internal/engine -bench SelectHotPath -benchmem -run '^$$'
 	$(GO) test ./internal/index -bench 'IndexBuild|IndexAppend' -benchmem -run '^$$'
 	$(GO) test . -bench . -run '^$$'
+
+# Cross-query label store: cold vs warm oracle-call counts. The warm
+# benchmark reports warm-oracle-calls/op = 0 — a repeated identical
+# query never touches the oracle UDF again; the disabled baseline
+# re-pays the full budget every run.
+bench-labelstore:
+	$(GO) test ./internal/engine -bench LabelStore -benchmem -run '^$$'

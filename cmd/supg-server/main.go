@@ -16,7 +16,10 @@
 //	                              append records to an uploaded dataset (same
 //	                              body formats); cached score indexes extend
 //	                              incrementally instead of rebuilding
-//	POST   /v1/query              body: {"sql": "SELECT * FROM ..."} (synchronous)
+//	POST   /v1/query              body: {"sql": "SELECT * FROM ..."} (synchronous);
+//	                              add "free_reuse": true to serve labels already
+//	                              in the cross-query label cache without charging
+//	                              the oracle budget
 //	POST   /v1/jobs               same body; returns 202 + job id (asynchronous)
 //	GET    /v1/jobs               list job statuses
 //	GET    /v1/jobs/{id}          job status and, when done, the result
@@ -68,6 +71,8 @@ func main() {
 		oracleLat   = flag.Duration("oracle-latency", 0, "simulated per-call oracle latency for every registered dataset (preloads and uploads)")
 		segSize     = flag.Int("segment-size", 0, "records per score-index segment (0 = default 256Ki); identical results at any setting")
 		buildPar    = flag.Int("index-build-parallelism", 0, "concurrent segment builds per index (0 = GOMAXPROCS)")
+		labelBytes  = flag.Int64("label-cache-bytes", 0, "cross-query oracle label cache budget in bytes (0 = default 64 MiB; negative disables label reuse)")
+		labelShards = flag.Int("label-cache-shards", 0, "label cache shards per (table, oracle) pair (0 = default 16)")
 		grace       = flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight jobs on shutdown")
 	)
 	flag.Parse()
@@ -80,6 +85,8 @@ func main() {
 		OracleLatency:         *oracleLat,
 		SegmentSize:           *segSize,
 		IndexBuildParallelism: *buildPar,
+		LabelCacheBytes:       *labelBytes,
+		LabelCacheShards:      *labelShards,
 	})
 	if *preload != "" {
 		r := randx.New(*seed)

@@ -129,4 +129,30 @@
 // /v1/jobs endpoints next to the synchronous /v1/query convenience
 // wrapper; cmd/supg-server drains in-flight jobs on SIGINT/SIGTERM.
 // See README.md for the endpoint table and curl examples.
+//
+// # Cross-query label reuse
+//
+// Oracle labels are a pure function of the record index, so a label
+// bought by one query is valid for every later query of the same
+// (table, oracle UDF) pair. The engine keeps bought labels in a
+// shared, bounded label store (internal/labelstore): sharded for
+// concurrent queries and jobs, FIFO-evicted under a configurable byte
+// budget (EngineOptions.LabelCacheBytes, -label-cache-bytes), and
+// invalidated whenever a table or oracle UDF is re-registered — while
+// AppendTable extends a table without touching existing ids, so the
+// store survives appends intact.
+//
+// Reuse comes in two charging modes. The default charged mode serves a
+// stored label without calling the oracle UDF but still charges a
+// budget unit for it, which makes warm results byte-identical to a
+// cold run: the samplers draw the same records, budgets exhaust at the
+// same points, and Indices/Tau/OracleCalls match exactly — the
+// guarantees of the paper apply verbatim because nothing observable to
+// the algorithm changed, only who answered. The opt-in reuse-free mode
+// (ORACLE LIMIT ... REUSE FREE in the grammar, ExecOptions.FreeReuse,
+// or "free_reuse": true over HTTP) makes stored labels free, so the
+// same budget buys a larger effective sample: a fully-warm repeat of a
+// query reports zero oracle calls. Hit/miss/eviction/invalidation
+// counters are exposed through Engine.LabelStore().Stats() and
+// GET /v1/stats.
 package supg

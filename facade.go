@@ -5,6 +5,7 @@ import (
 
 	"supg/internal/dataset"
 	"supg/internal/engine"
+	"supg/internal/labelstore"
 	"supg/internal/metrics"
 	"supg/internal/multiproxy"
 	"supg/internal/oracle"
@@ -63,6 +64,24 @@ type QueryResult = engine.QueryResult
 
 // NewEngine returns an empty engine seeded for deterministic queries.
 func NewEngine(seed uint64) *Engine { return engine.New(seed) }
+
+// EngineOptions tune engine construction: score-index segmentation and
+// the cross-query oracle label store bounds.
+type EngineOptions = engine.Options
+
+// ExecOptions tune one engine query execution (oracle parallelism,
+// progress reporting, label-reuse charging mode).
+type ExecOptions = engine.ExecOptions
+
+// NewEngineWithOptions is NewEngine with explicit tuning.
+func NewEngineWithOptions(seed uint64, opts EngineOptions) *Engine {
+	return engine.NewWithOptions(seed, opts)
+}
+
+// LabelStoreStats is a snapshot of the engine's cross-query oracle
+// label store activity (hits, misses, evictions, invalidations); see
+// Engine.LabelStore.
+type LabelStoreStats = labelstore.Stats
 
 // Fusion selects how multiple proxy columns are combined by RunMulti.
 type Fusion = multiproxy.Fusion

@@ -45,6 +45,9 @@ type JointResult struct {
 	// OracleCalls is the total number of oracle invocations across all
 	// three stages — the Figure 15 cost metric.
 	OracleCalls int
+	// CachedLabels is the number of labels served from the cross-query
+	// label store instead of the inner oracle (0 without a store).
+	CachedLabels int
 	// Tau is the recall-stage threshold.
 	Tau float64
 	// CandidateSize is |R| before false-positive filtering.
@@ -77,6 +80,15 @@ func SelectJointFrom(r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec Joi
 // through one batch call, so a batch-capable oracle verifies candidates
 // with bounded parallelism.
 func SelectJointFromContext(ctx context.Context, r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec JointSpec, cfg Config) (JointResult, error) {
+	return SelectJointFromContextOptions(ctx, r, src, orc, spec, cfg, SelectOptions{})
+}
+
+// SelectJointFromContextOptions is SelectJointFromContext with a
+// label-store tier. The store attaches to the innermost (unlimited)
+// budget wrapper, which every stage's labeling flows through, so in
+// charged mode the reported OracleCalls stay byte-identical to a
+// storeless run while the inner oracle's call count drops.
+func SelectJointFromContextOptions(ctx context.Context, r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec JointSpec, cfg Config, sopts SelectOptions) (JointResult, error) {
 	if err := spec.Validate(); err != nil {
 		return JointResult{}, err
 	}
@@ -89,7 +101,8 @@ func SelectJointFromContext(ctx context.Context, r *randx.Rand, src ScoreSource,
 	// The stage-3 exhaustive filter needs unrestricted oracle access;
 	// wrap with an effectively unlimited budget so call accounting
 	// still flows through the same path.
-	budgeted := oracle.NewBudgeted(orc, math.MaxInt/2).WithContext(ctx)
+	budgeted := oracle.NewBudgeted(orc, math.MaxInt/2).WithContext(ctx).
+		WithStore(sopts.Store, sopts.FreeReuse).WithChargeHook(sopts.OnCachedCharge)
 	stageBudgeted := oracle.NewBudgeted(budgeted, spec.StageBudget).WithContext(ctx)
 
 	tr, err := EstimateTauFrom(r, src, stageBudgeted, rtSpec, cfg)
@@ -116,6 +129,7 @@ func SelectJointFromContext(ctx context.Context, r *randx.Rand, src ScoreSource,
 	return JointResult{
 		Indices:       final,
 		OracleCalls:   budgeted.Used(),
+		CachedLabels:  budgeted.StoreHits(),
 		Tau:           tr.Tau,
 		CandidateSize: len(candidate.Indices),
 	}, nil

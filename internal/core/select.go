@@ -88,7 +88,35 @@ func SelectFrom(r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec Spec, cf
 // slow oracle latency; results are bit-for-bit identical to the
 // sequential path for the same random stream.
 func SelectFromContext(ctx context.Context, r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec Spec, cfg Config) (Result, error) {
-	budgeted := oracle.NewBudgeted(orc, spec.Budget).WithContext(ctx)
+	return SelectFromContextOptions(ctx, r, src, orc, spec, cfg, SelectOptions{})
+}
+
+// SelectOptions carries execution-environment tuning orthogonal to the
+// algorithm Config: the cross-query label store tier and its charging
+// mode. The zero value runs without a store, exactly as
+// SelectFromContext always has.
+type SelectOptions struct {
+	// Store is a shared label cache consulted before the oracle and
+	// extended with every fresh label (nil = none).
+	Store oracle.LabelCache
+	// FreeReuse makes store hits free instead of budget-charged. The
+	// default (charged) mode keeps warm results byte-identical to cold
+	// runs; free reuse stretches the effective sample size instead.
+	FreeReuse bool
+	// OnCachedCharge, when non-nil, is notified each time charged store
+	// hits consume budget (n units at a time), so progress accounting
+	// that counts real oracle invocations can stay equal to the
+	// budget-consumption total.
+	OnCachedCharge func(n int)
+}
+
+// SelectFromContextOptions is SelectFromContext with a label-store
+// tier. In charged mode (the default) the result — Indices, Tau, and
+// OracleCalls — is byte-identical to a storeless run; only
+// Result.CachedLabels and the inner oracle's call count differ.
+func SelectFromContextOptions(ctx context.Context, r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec Spec, cfg Config, sopts SelectOptions) (Result, error) {
+	budgeted := oracle.NewBudgeted(orc, spec.Budget).WithContext(ctx).
+		WithStore(sopts.Store, sopts.FreeReuse).WithChargeHook(sopts.OnCachedCharge)
 	tr, err := EstimateTauFrom(r, src, budgeted, spec, cfg)
 	if err != nil && !errors.Is(err, ErrNoPositives) {
 		return Result{}, err
@@ -98,7 +126,9 @@ func SelectFromContext(ctx context.Context, r *randx.Rand, src ScoreSource, orc 
 		// empty R1) is the valid PT answer.
 		tr.Tau = noSelectionTau()
 	}
-	return assembleFrom(src, tr), nil
+	res := assembleFrom(src, tr)
+	res.CachedLabels = budgeted.StoreHits()
+	return res, nil
 }
 
 // assemble constructs Algorithm 1's R1 ∪ R2 from a threshold estimate

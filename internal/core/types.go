@@ -235,6 +235,10 @@ type Result struct {
 	// SampledPositives is the number of returned records that came from
 	// oracle labels (the R1 component) rather than the threshold.
 	SampledPositives int
+	// CachedLabels is the number of labels served from the cross-query
+	// label store instead of the inner oracle (0 without a store). In
+	// charged mode these still count in OracleCalls.
+	CachedLabels int
 }
 
 // ErrNoPositives is returned by recall-target estimation when the

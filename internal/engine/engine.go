@@ -25,6 +25,7 @@ import (
 	"supg/internal/core"
 	"supg/internal/dataset"
 	"supg/internal/index"
+	"supg/internal/labelstore"
 	"supg/internal/metrics"
 	"supg/internal/oracle"
 	"supg/internal/query"
@@ -93,6 +94,15 @@ type Options struct {
 	// BuildParallelism bounds concurrent segment builds per index
 	// (<= 0 selects GOMAXPROCS).
 	BuildParallelism int
+	// LabelCacheBytes bounds the cross-query oracle label store shared
+	// by every query and job of this engine (0 selects
+	// labelstore.DefaultMaxBytes; negative disables label reuse
+	// entirely). In the default charged mode the store changes only the
+	// inner oracle's call count, never query results.
+	LabelCacheBytes int64
+	// LabelCacheShards is the label store's shard count per (table,
+	// oracle) pair (<= 0 selects labelstore.DefaultShards).
+	LabelCacheShards int
 }
 
 // Engine holds the catalog of tables, the UDF registry, and the cache
@@ -111,6 +121,10 @@ type Engine struct {
 	refs   map[string]*atomic.Pointer[dataset.Dataset]
 	seed   uint64
 	ixOpts index.Options
+	// labels is the cross-query oracle label store (nil when disabled).
+	// It is invalidated on table/oracle re-registration and survives
+	// AppendTable: appends never change existing record ids or labels.
+	labels *labelstore.Store
 }
 
 // New returns an empty engine whose query randomness derives from seed.
@@ -118,8 +132,16 @@ func New(seed uint64) *Engine {
 	return NewWithOptions(seed, Options{})
 }
 
-// NewWithOptions is New with explicit index-construction tuning.
+// NewWithOptions is New with explicit index-construction and
+// label-store tuning.
 func NewWithOptions(seed uint64, opts Options) *Engine {
+	var labels *labelstore.Store
+	if opts.LabelCacheBytes >= 0 {
+		labels = labelstore.New(labelstore.Options{
+			MaxBytes: opts.LabelCacheBytes,
+			Shards:   opts.LabelCacheShards,
+		})
+	}
 	return &Engine{
 		tables:  make(map[string]*dataset.Dataset),
 		oracles: make(map[string]OracleUDF),
@@ -131,11 +153,18 @@ func NewWithOptions(seed uint64, opts Options) *Engine {
 			SegmentSize: opts.SegmentSize,
 			Parallelism: opts.BuildParallelism,
 		},
+		labels: labels,
 	}
 }
 
+// LabelStore exposes the engine's cross-query oracle label store (nil
+// when disabled via Options.LabelCacheBytes < 0) — for stats, counter
+// attachment, and tests.
+func (e *Engine) LabelStore() *labelstore.Store { return e.labels }
+
 // RegisterTable adds a dataset under the given table name, invalidating
-// any cached indexes built over a previous registration of the name.
+// any cached indexes and stored oracle labels built over a previous
+// registration of the name.
 func (e *Engine) RegisterTable(name string, d *dataset.Dataset) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -146,6 +175,7 @@ func (e *Engine) RegisterTable(name string, d *dataset.Dataset) {
 			delete(e.indexes, k)
 		}
 	}
+	e.labels.InvalidateTable(name)
 }
 
 // AppendTable atomically extends table name with extra's records,
@@ -154,7 +184,10 @@ func (e *Engine) RegisterTable(name string, d *dataset.Dataset) {
 // incremental entry that — on next use — evaluates the proxy over only
 // the appended records and merges them into the existing index as a
 // fresh segment, instead of re-scanning and re-sorting the whole
-// table. Registered UDFs must accept the extended id range; the
+// table. Stored oracle labels likewise survive: existing ids keep
+// their records and labels, so the label store extends naturally as
+// the new ids get labeled. Registered UDFs must accept the extended
+// id range; the
 // dataset-default UDFs (RegisterDatasetDefaults) are extended
 // automatically. The combined dataset is returned.
 func (e *Engine) AppendTable(name string, extra *dataset.Dataset) (*dataset.Dataset, error) {
@@ -206,11 +239,13 @@ func (e *Engine) AppendTable(name string, extra *dataset.Dataset) (*dataset.Data
 	return combined, nil
 }
 
-// RegisterOracle adds an oracle UDF under the given function name.
+// RegisterOracle adds an oracle UDF under the given function name,
+// invalidating any stored labels bought from a previous registration.
 func (e *Engine) RegisterOracle(name string, fn OracleUDF) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.oracles[name] = fn
+	e.labels.InvalidateOracle(name)
 }
 
 // RegisterProxy adds a proxy UDF under the given function name,
@@ -229,7 +264,8 @@ func (e *Engine) RegisterProxy(name string, fn ProxyUDF) {
 // WrapOracle replaces a registered oracle UDF with wrap(current) — the
 // hook for layering simulated latency or instrumentation onto an
 // existing registration without re-implementing it. It reports whether
-// the name was registered.
+// the name was registered. Stored labels of the name are invalidated:
+// the wrapper may change what the function answers.
 func (e *Engine) WrapOracle(name string, wrap func(OracleUDF) OracleUDF) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -238,6 +274,7 @@ func (e *Engine) WrapOracle(name string, wrap func(OracleUDF) OracleUDF) bool {
 		return false
 	}
 	e.oracles[name] = wrap(fn)
+	e.labels.InvalidateOracle(name)
 	return true
 }
 
@@ -274,6 +311,8 @@ func (e *Engine) RegisterDatasetDefaults(name string, d *dataset.Dataset) {
 			delete(e.indexes, k)
 		}
 	}
+	e.labels.InvalidateTable(name)
+	e.labels.InvalidateOracle(oracleName)
 }
 
 // QueryResult is the engine-level answer with execution statistics.
@@ -292,6 +331,11 @@ type QueryResult struct {
 	// IndexBuilt reports whether this query performed the proxy scan
 	// and index construction (the first query of a table/proxy pair).
 	IndexBuilt bool
+	// LabelCacheHits counts labels served from the cross-query label
+	// store instead of the oracle UDF. In the default charged mode they
+	// are included in OracleCalls (budget accounting is unchanged); in
+	// reuse-free mode they are free.
+	LabelCacheHits int
 	// Elapsed covers planning through result assembly.
 	Elapsed time.Duration
 	// ProxyElapsed covers the upfront proxy scan and index build when
@@ -318,6 +362,12 @@ type ExecOptions struct {
 	Progress func(oracleCalls int)
 	// Counters, when non-nil, records query and dispatch activity.
 	Counters *metrics.Counters
+	// FreeReuse makes cross-query label store hits free instead of
+	// budget-charged for this execution — the ExecOptions form of the
+	// query grammar's ORACLE LIMIT ... REUSE FREE clause. The default
+	// (charged) mode keeps results byte-identical to a cold run; free
+	// reuse stretches the effective sample size the budget buys.
+	FreeReuse bool
 }
 
 // Execute parses, plans, and runs a SUPG statement.
@@ -356,6 +406,16 @@ func (e *Engine) ExecutePlanContext(ctx context.Context, plan *query.Plan, opts 
 	oracleFn, okO := e.oracles[plan.OracleUDF]
 	_, okP := e.proxies[plan.ProxyUDF]
 	seed := e.seed
+	// The label cache handle must be snapshotted under the same lock
+	// that read oracleFn: invalidation (RegisterOracle et al.) replaces
+	// the UDF and kills the cache atomically under e.mu, so pairing the
+	// reads here guarantees a query can never write labels bought from
+	// a superseded oracle into the replacement cache — a later
+	// re-registration kills this handle, turning its writes into no-ops.
+	var labelCache *labelstore.Cache
+	if e.labels != nil && okT && okO {
+		labelCache = e.labels.Cache(plan.Table, plan.OracleUDF)
+	}
 	e.mu.RUnlock()
 
 	if !okT {
@@ -377,8 +437,25 @@ func (e *Engine) ExecutePlanContext(ctx context.Context, plan *query.Plan, opts 
 	}
 
 	rng := randx.New(seed).Stream(hashString(plan.SourceText))
-	orc := buildOracle(oracleFn, opts)
+	progress := newProgressCounter(opts.Progress)
+	orc := buildOracle(oracleFn, opts, progress)
 	opts.Counters.QueryExecuted()
+
+	// Wire the shared label store into the budget wrapper. The grammar's
+	// REUSE FREE clause and the per-execution option are equivalent —
+	// either makes warm hits free instead of budget-charged.
+	var sopts core.SelectOptions
+	if labelCache != nil {
+		sopts.Store = labelCache
+		sopts.FreeReuse = opts.FreeReuse || plan.FreeReuse
+		if opts.Progress != nil {
+			// Charged store hits never reach the counting wrapper below
+			// the dispatcher, yet they consume budget; routing them
+			// through the same cumulative counter keeps progress totals
+			// equal to the result's OracleCalls (see Budgeted.Used).
+			sopts.OnCachedCharge = progress.add
+		}
+	}
 
 	res := &QueryResult{Plan: plan, IndexBuilt: built}
 	if built {
@@ -387,21 +464,23 @@ func (e *Engine) ExecutePlanContext(ctx context.Context, plan *query.Plan, opts 
 	}
 	switch plan.Kind {
 	case query.PlanBudgeted:
-		sel, err := core.SelectFromContext(ctx, rng, entry.ix, orc, plan.Spec, plan.Config)
+		sel, err := core.SelectFromContextOptions(ctx, rng, entry.ix, orc, plan.Spec, plan.Config, sopts)
 		if err != nil {
 			return nil, err
 		}
 		res.Indices = sel.Indices
 		res.Tau = sel.Tau
 		res.OracleCalls = sel.OracleCalls
+		res.LabelCacheHits = sel.CachedLabels
 	case query.PlanJoint:
-		sel, err := core.SelectJointFromContext(ctx, rng, entry.ix, orc, plan.JointSpec, plan.Config)
+		sel, err := core.SelectJointFromContextOptions(ctx, rng, entry.ix, orc, plan.JointSpec, plan.Config, sopts)
 		if err != nil {
 			return nil, err
 		}
 		res.Indices = sel.Indices
 		res.Tau = sel.Tau
 		res.OracleCalls = sel.OracleCalls
+		res.LabelCacheHits = sel.CachedLabels
 	default:
 		return nil, fmt.Errorf("engine: unknown plan kind %d", int(plan.Kind))
 	}
@@ -413,10 +492,10 @@ func (e *Engine) ExecutePlanContext(ctx context.Context, plan *query.Plan, opts 
 // a progress-counting wrapper (innermost, so every real invocation is
 // observed) and, when parallelism is requested, a batch dispatcher that
 // overlaps oracle latency across goroutines.
-func buildOracle(fn OracleUDF, opts ExecOptions) oracle.Oracle {
+func buildOracle(fn OracleUDF, opts ExecOptions, progress *progressCounter) oracle.Oracle {
 	var orc oracle.Oracle = oracle.Func(fn)
 	if opts.Progress != nil {
-		orc = &countingOracle{inner: orc, hook: opts.Progress}
+		orc = &countingOracle{inner: orc, progress: progress}
 	}
 	if opts.OracleParallelism > 1 {
 		orc = oracle.NewDispatcher(orc, opts.OracleParallelism).WithCounters(opts.Counters)
@@ -424,20 +503,42 @@ func buildOracle(fn OracleUDF, opts ExecOptions) oracle.Oracle {
 	return orc
 }
 
-// countingOracle reports the cumulative number of successful oracle
-// invocations to a progress hook. It sits below the budget wrapper, so
-// every counted call is budget-consuming (memoized repeats never reach
-// it), and below the dispatcher, so counts arrive as calls complete.
-type countingOracle struct {
-	inner oracle.Oracle
+// progressCounter accumulates budget-consuming oracle calls from both
+// sources — real UDF invocations (via countingOracle) and charged
+// label-store hits (via the Budgeted charge hook) — into one
+// cumulative total for the progress hook, so progress reports always
+// agree with the result's OracleCalls. Nil-safe: a nil counter or nil
+// hook records nothing.
+type progressCounter struct {
 	calls atomic.Int64
 	hook  func(int)
+}
+
+func newProgressCounter(hook func(int)) *progressCounter {
+	return &progressCounter{hook: hook}
+}
+
+func (p *progressCounter) add(n int) {
+	if p == nil || p.hook == nil {
+		return
+	}
+	p.hook(int(p.calls.Add(int64(n))))
+}
+
+// countingOracle reports successful oracle invocations to the shared
+// progress counter. It sits below the budget wrapper, so every counted
+// call is budget-consuming (memoized repeats and store hits never
+// reach it), and below the dispatcher, so counts arrive as calls
+// complete.
+type countingOracle struct {
+	inner    oracle.Oracle
+	progress *progressCounter
 }
 
 func (c *countingOracle) Label(i int) (bool, error) {
 	v, err := c.inner.Label(i)
 	if err == nil {
-		c.hook(int(c.calls.Add(1)))
+		c.progress.add(1)
 	}
 	return v, err
 }

@@ -16,6 +16,11 @@ type Counters struct {
 
 	dispatchBatches atomic.Int64
 	dispatchCalls   atomic.Int64
+
+	labelCacheHits          atomic.Int64
+	labelCacheMisses        atomic.Int64
+	labelCacheEvictions     atomic.Int64
+	labelCacheInvalidations atomic.Int64
 }
 
 // JobSubmitted records a job accepted into the queue.
@@ -61,6 +66,37 @@ func (c *Counters) DispatchBatch(n int) {
 	}
 }
 
+// LabelCacheHits records n label reads served from the cross-query
+// label store.
+func (c *Counters) LabelCacheHits(n int64) {
+	if c != nil {
+		c.labelCacheHits.Add(n)
+	}
+}
+
+// LabelCacheMisses records n label-store lookups that missed.
+func (c *Counters) LabelCacheMisses(n int64) {
+	if c != nil {
+		c.labelCacheMisses.Add(n)
+	}
+}
+
+// LabelCacheEvictions records n labels evicted to stay under the
+// store's byte budget.
+func (c *Counters) LabelCacheEvictions(n int64) {
+	if c != nil {
+		c.labelCacheEvictions.Add(n)
+	}
+}
+
+// LabelCacheInvalidations records n label caches dropped because their
+// table or oracle UDF was re-registered.
+func (c *Counters) LabelCacheInvalidations(n int64) {
+	if c != nil {
+		c.labelCacheInvalidations.Add(n)
+	}
+}
+
 // CounterSnapshot is a point-in-time copy of all counters, shaped for
 // the /v1/stats endpoint.
 type CounterSnapshot struct {
@@ -71,6 +107,11 @@ type CounterSnapshot struct {
 	Queries         int64 `json:"queries"`
 	DispatchBatches int64 `json:"oracle_dispatch_batches"`
 	DispatchCalls   int64 `json:"oracle_dispatch_calls"`
+
+	LabelCacheHits          int64 `json:"label_cache_hits"`
+	LabelCacheMisses        int64 `json:"label_cache_misses"`
+	LabelCacheEvictions     int64 `json:"label_cache_evictions"`
+	LabelCacheInvalidations int64 `json:"label_cache_invalidations"`
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each field
@@ -87,5 +128,10 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		Queries:         c.queries.Load(),
 		DispatchBatches: c.dispatchBatches.Load(),
 		DispatchCalls:   c.dispatchCalls.Load(),
+
+		LabelCacheHits:          c.labelCacheHits.Load(),
+		LabelCacheMisses:        c.labelCacheMisses.Load(),
+		LabelCacheEvictions:     c.labelCacheEvictions.Load(),
+		LabelCacheInvalidations: c.labelCacheInvalidations.Load(),
 	}
 }

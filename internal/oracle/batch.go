@@ -16,7 +16,11 @@ import (
 // that fetch order cannot change results.
 type BatchOracle interface {
 	// LabelBatch returns the labels of idx, in idx order. On error the
-	// labels are discarded wholesale; partial results are not returned.
+	// returned slice holds the labels of the longest successfully-labeled
+	// prefix of idx (possibly empty): labels[i] is valid for idx[i] for
+	// every i < len(labels). Callers fold that prefix into their cache
+	// and budget accounting so already-paid-for labels survive a partial
+	// failure, mirroring the sequential path's kept prefix.
 	LabelBatch(ctx context.Context, idx []int) ([]bool, error)
 }
 
@@ -61,7 +65,10 @@ func (d *Dispatcher) Label(i int) (bool, error) { return d.inner.Label(i) }
 
 // LabelBatch implements BatchOracle with bounded-parallel fan-out.
 // Workers pull positions from a shared cursor; the first error (or a
-// context cancellation) stops the remaining work and is returned.
+// context cancellation) stops the remaining work. Per the BatchOracle
+// contract, on error the longest successfully-labeled prefix is
+// returned alongside it, so callers can keep labels that were already
+// fetched (and paid for) instead of discarding the whole batch.
 func (d *Dispatcher) LabelBatch(ctx context.Context, idx []int) ([]bool, error) {
 	d.counters.DispatchBatch(len(idx))
 	out := make([]bool, len(idx))
@@ -76,11 +83,11 @@ func (d *Dispatcher) LabelBatch(ctx context.Context, idx []int) ([]bool, error) 
 	if workers <= 1 {
 		for i, j := range idx {
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("oracle: %w", err)
+				return out[:i], fmt.Errorf("oracle: %w", err)
 			}
 			v, err := d.inner.Label(j)
 			if err != nil {
-				return nil, err
+				return out[:i], err
 			}
 			out[i] = v
 		}
@@ -96,6 +103,10 @@ func (d *Dispatcher) LabelBatch(ctx context.Context, idx []int) ([]bool, error) 
 		errOnce  sync.Once
 		wg       sync.WaitGroup
 	)
+	// done[pos] marks positions whose label landed in out; written by
+	// workers before wg.Done, read only after wg.Wait (the WaitGroup
+	// orders the accesses).
+	done := make([]bool, len(idx))
 	fail := func(err error) {
 		errOnce.Do(func() {
 			firstErr = err
@@ -121,12 +132,20 @@ func (d *Dispatcher) LabelBatch(ctx context.Context, idx []int) ([]bool, error) 
 					return
 				}
 				out[pos] = v
+				done[pos] = true
 			}
 		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		// The contiguous done prefix is exactly what a sequential loop
+		// stopping at the first failure could have kept; later completed
+		// positions are discarded to preserve prefix semantics.
+		k := 0
+		for k < len(done) && done[k] {
+			k++
+		}
+		return out[:k], firstErr
 	}
 	return out, nil
 }

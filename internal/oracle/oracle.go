@@ -112,6 +112,20 @@ func (s *Simulated) Reset() {
 	s.uniqueCalls = make(map[int]struct{})
 }
 
+// LabelCache is a shared read-through/write-through label tier for a
+// Budgeted oracle — typically a labelstore.Cache holding the labels
+// every earlier query of the same (table, oracle) pair already bought.
+// Implementations must be goroutine-safe (multiple queries share one
+// cache) and must serve labels that are a pure function of the record
+// index. A lookup may miss at any time (bounded caches evict;
+// invalidated caches go cold), so correctness never depends on a hit.
+type LabelCache interface {
+	// Get returns the cached label of record i and whether it was found.
+	Get(i int) (bool, bool)
+	// Put records the label of record i. It may drop the write.
+	Put(i int, v bool)
+}
+
 // Budgeted wraps an oracle with a hard call limit and memoization.
 // Repeat labels of an already-labeled record are served from cache and
 // do NOT consume budget, matching the paper's model where the label of
@@ -128,6 +142,12 @@ type Budgeted struct {
 	used   int
 	cache  map[int]bool
 	ctx    context.Context // nil = never cancelled
+
+	// store is the optional cross-query label tier (see WithStore).
+	store     LabelCache
+	freeReuse bool
+	storeHits int
+	onCharge  func(n int) // notified per charged store hit batch
 }
 
 // NewBudgeted wraps inner with a limit of budget oracle calls. The
@@ -154,6 +174,39 @@ func (b *Budgeted) WithContext(ctx context.Context) *Budgeted {
 	return b
 }
 
+// WithStore attaches a shared cross-query label tier. A store hit
+// skips the inner oracle entirely. In the default charged mode (free =
+// false) a hit still consumes one budget unit, so budget traces —
+// and therefore every downstream decision of the selection algorithms
+// — are byte-identical to a run without the store; only the inner
+// oracle's call count drops. With free = true hits cost nothing,
+// stretching the effective sample size a budget can buy at the price
+// of run-to-run comparability. Fresh labels fetched from the inner
+// oracle are written through to the store either way. Returns b for
+// chaining; a nil store leaves b unchanged.
+func (b *Budgeted) WithStore(store LabelCache, free bool) *Budgeted {
+	if store != nil {
+		b.store = store
+		b.freeReuse = free
+	}
+	return b
+}
+
+// WithChargeHook registers fn to be notified whenever charged store
+// hits consume budget (n units at a time). It lets callers that count
+// real oracle invocations elsewhere (e.g. a progress hook below the
+// batch dispatcher) keep their cumulative totals equal to Used(),
+// which charges for store hits the inner oracle never sees. Returns b
+// for chaining.
+func (b *Budgeted) WithChargeHook(fn func(n int)) *Budgeted {
+	b.onCharge = fn
+	return b
+}
+
+// StoreHits returns the number of labels this query served from the
+// attached store (charged or free).
+func (b *Budgeted) StoreHits() int { return b.storeHits }
+
 // Context returns the attached cancellation context (never nil).
 func (b *Budgeted) Context() context.Context {
 	if b.ctx == nil {
@@ -172,6 +225,25 @@ func (b *Budgeted) Label(i int) (bool, error) {
 			return false, fmt.Errorf("oracle: %w", err)
 		}
 	}
+	if b.store != nil {
+		if v, ok := b.store.Get(i); ok {
+			if b.freeReuse {
+				b.cache[i] = v
+				b.storeHits++
+				return v, nil
+			}
+			if b.used >= b.budget {
+				return false, fmt.Errorf("%w (limit %d)", ErrBudgetExhausted, b.budget)
+			}
+			b.used++
+			b.storeHits++
+			b.cache[i] = v
+			if b.onCharge != nil {
+				b.onCharge(1)
+			}
+			return v, nil
+		}
+	}
 	if b.used >= b.budget {
 		return false, fmt.Errorf("%w (limit %d)", ErrBudgetExhausted, b.budget)
 	}
@@ -181,6 +253,9 @@ func (b *Budgeted) Label(i int) (bool, error) {
 	}
 	b.used++
 	b.cache[i] = v
+	if b.store != nil {
+		b.store.Put(i, v)
+	}
 	return v, nil
 }
 
@@ -205,9 +280,14 @@ func (b *Budgeted) LabelAll(idx []int) ([]bool, error) {
 	}
 	// Collect the fresh records in first-occurrence order, capped at the
 	// remaining budget exactly as a sequential Label loop would be.
+	// Store hits are resolved inline: in charged mode they consume a
+	// budget unit at their encounter position (so the exhaustion point
+	// matches a storeless run unit for unit); in reuse-free mode they
+	// are as free as memo hits.
 	var (
 		fetch     []int
 		fetchPos  map[int]int
+		hits      int
 		exhausted bool
 	)
 	for _, j := range idx {
@@ -216,6 +296,24 @@ func (b *Budgeted) LabelAll(idx []int) ([]bool, error) {
 		}
 		if _, ok := fetchPos[j]; ok {
 			continue
+		}
+		if b.store != nil {
+			if v, ok := b.store.Get(j); ok {
+				if b.freeReuse {
+					b.cache[j] = v
+					b.storeHits++
+					continue
+				}
+				if b.used+len(fetch) >= b.budget {
+					exhausted = true
+					break
+				}
+				b.cache[j] = v
+				b.used++
+				b.storeHits++
+				hits++
+				continue
+			}
 		}
 		if b.used+len(fetch) >= b.budget {
 			exhausted = true
@@ -226,6 +324,9 @@ func (b *Budgeted) LabelAll(idx []int) ([]bool, error) {
 		}
 		fetchPos[j] = len(fetch)
 		fetch = append(fetch, j)
+	}
+	if hits > 0 && b.onCharge != nil {
+		b.onCharge(hits)
 	}
 
 	if err := b.fetchAll(fetch); err != nil {
@@ -245,36 +346,58 @@ func (b *Budgeted) LabelAll(idx []int) ([]bool, error) {
 // LabelBatch implements BatchOracle, so nested Budgeted wrappers (the
 // joint query path stacks a stage budget on an unlimited one) propagate
 // batching down to the innermost dispatcher. It must be called from the
-// goroutine that owns b; the batch parallelism happens below it.
+// goroutine that owns b; the batch parallelism happens below it. On
+// error it honors the BatchOracle prefix contract: the longest prefix
+// of idx answerable from the memo — exactly the labels the failed run
+// did obtain and charge for — is returned alongside the error, so an
+// outer wrapper's accounting keeps them.
 func (b *Budgeted) LabelBatch(ctx context.Context, idx []int) ([]bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("oracle: %w", err)
 	}
-	return b.LabelAll(idx)
+	labels, err := b.LabelAll(idx)
+	if err == nil {
+		return labels, nil
+	}
+	prefix := make([]bool, 0, len(idx))
+	for _, j := range idx {
+		v, ok := b.cache[j]
+		if !ok {
+			break
+		}
+		prefix = append(prefix, v)
+	}
+	return prefix, err
 }
 
 // fetchAll labels the deduplicated fresh records through the inner
 // oracle and folds them into the cache and budget accounting. The
 // sequential path caches and counts each success before moving on, so
 // an inner error mid-way leaves exactly the sequential loop's partial
-// state behind. The batch path is all-or-nothing per the BatchOracle
-// contract: on error the whole batch's labels (and their accounting)
-// are discarded — the one place batch and sequential execution can
-// diverge, and only on an already-failing query.
+// state behind. The batch path keeps the same invariant: BatchOracle
+// implementations return the successfully-labeled prefix alongside an
+// error, and that prefix is cached, charged, and written through to
+// the store before the error propagates — labels the inner oracle
+// already fetched (and was paid for) are never thrown away.
 func (b *Budgeted) fetchAll(fetch []int) error {
 	if len(fetch) == 0 {
 		return nil
 	}
 	if batch, ok := b.inner.(BatchOracle); ok {
 		labels, err := batch.LabelBatch(b.Context(), fetch)
-		if err != nil {
-			return err
+		n := len(labels)
+		if n > len(fetch) {
+			n = len(fetch)
 		}
-		for i, j := range fetch {
+		for i := 0; i < n; i++ {
+			j := fetch[i]
 			b.cache[j] = labels[i]
+			if b.store != nil {
+				b.store.Put(j, labels[i])
+			}
 		}
-		b.used += len(fetch)
-		return nil
+		b.used += n
+		return err
 	}
 	for _, j := range fetch {
 		if b.ctx != nil {
@@ -288,6 +411,9 @@ func (b *Budgeted) fetchAll(fetch []int) error {
 		}
 		b.cache[j] = v
 		b.used++
+		if b.store != nil {
+			b.store.Put(j, v)
+		}
 	}
 	return nil
 }

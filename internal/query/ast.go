@@ -69,6 +69,12 @@ type Query struct {
 	Type TargetType
 	// OracleLimit is the ORACLE LIMIT budget; 0 for JT queries.
 	OracleLimit int
+	// FreeReuse is the ORACLE LIMIT ... REUSE FREE modifier: labels
+	// already in the cross-query label store are served without
+	// consuming budget, stretching the effective sample size. Without
+	// it (the default, "charged" mode) warm store hits still consume
+	// budget units, so results are byte-identical to a cold run.
+	FreeReuse bool
 	// RecallTarget is set for RT and JT queries (fraction in (0,1]).
 	RecallTarget float64
 	// PrecisionTarget is set for PT and JT queries.
@@ -86,7 +92,11 @@ func (q *Query) String() string {
 	fmt.Fprintf(&sb, "SELECT * FROM %s\n", q.Table)
 	fmt.Fprintf(&sb, "WHERE %s\n", q.Oracle)
 	if q.Type != JointTargetQuery {
-		fmt.Fprintf(&sb, "ORACLE LIMIT %d\n", q.OracleLimit)
+		fmt.Fprintf(&sb, "ORACLE LIMIT %d", q.OracleLimit)
+		if q.FreeReuse {
+			sb.WriteString(" REUSE FREE")
+		}
+		sb.WriteByte('\n')
 	}
 	fmt.Fprintf(&sb, "USING %s\n", q.Proxy)
 	switch q.Type {
@@ -146,6 +156,9 @@ func (q *Query) Validate() error {
 		}
 		if q.OracleLimit != 0 {
 			return fmt.Errorf("query: joint-target queries do not take an ORACLE LIMIT")
+		}
+		if q.FreeReuse {
+			return fmt.Errorf("query: REUSE FREE modifies ORACLE LIMIT, which joint-target queries do not take")
 		}
 	}
 	return nil

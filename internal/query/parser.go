@@ -108,6 +108,12 @@ func (p *parser) parseQuery() (*Query, error) {
 		}
 		q.OracleLimit = int(limit)
 		hasLimit = true
+		if p.keyword("reuse") {
+			if err := p.expectKeyword("free"); err != nil {
+				return nil, err
+			}
+			q.FreeReuse = true
+		}
 	}
 
 	if err := p.expectKeyword("using"); err != nil {

@@ -18,6 +18,9 @@ type Plan struct {
 	JointSpec  core.JointSpec // for JT plans
 	Config     core.Config
 	SourceText string
+	// FreeReuse carries the ORACLE LIMIT ... REUSE FREE modifier: warm
+	// label-store hits are free instead of budget-charged.
+	FreeReuse bool
 }
 
 // PlanKind distinguishes budgeted from joint plans.
@@ -56,6 +59,7 @@ func BuildPlan(q *Query, opts PlanOptions) (*Plan, error) {
 		ProxyUDF:   q.Proxy.Func,
 		Config:     cfg,
 		SourceText: q.String(),
+		FreeReuse:  q.FreeReuse,
 	}
 	switch q.Type {
 	case RecallTargetQuery:

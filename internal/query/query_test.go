@@ -308,3 +308,87 @@ func TestBarePredicateNoArgs(t *testing.T) {
 		t.Errorf("bare predicate %+v", q.Oracle)
 	}
 }
+
+func TestParseReuseFree(t *testing.T) {
+	q, err := Parse(`
+		SELECT * FROM v
+		WHERE o(x) = true
+		ORACLE LIMIT 500 REUSE FREE
+		USING p(x)
+		RECALL TARGET 90%
+		WITH PROBABILITY 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.FreeReuse {
+		t.Error("REUSE FREE not parsed")
+	}
+	if q.OracleLimit != 500 {
+		t.Errorf("OracleLimit = %d, want 500", q.OracleLimit)
+	}
+	// Round trip through the canonical rendering.
+	if !strings.Contains(q.String(), "ORACLE LIMIT 500 REUSE FREE") {
+		t.Errorf("String() lost the clause: %q", q.String())
+	}
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", q.String(), err)
+	}
+	if !q2.FreeReuse {
+		t.Error("round trip lost FreeReuse")
+	}
+
+	// The plan carries the flag.
+	plan, err := BuildPlan(q, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.FreeReuse {
+		t.Error("plan dropped FreeReuse")
+	}
+}
+
+func TestParseReuseFreeErrors(t *testing.T) {
+	// REUSE must be followed by FREE.
+	if _, err := Parse(`
+		SELECT * FROM v WHERE o(x) = true
+		ORACLE LIMIT 500 REUSE
+		USING p(x) RECALL TARGET 90% WITH PROBABILITY 95%`); err == nil {
+		t.Error("bare REUSE accepted")
+	}
+	// A query without ORACLE LIMIT cannot take the clause (REUSE parses
+	// as an unexpected identifier).
+	if _, err := Parse(`
+		SELECT * FROM v WHERE o(x) = true
+		USING p(x) RECALL TARGET 90% PRECISION TARGET 90%
+		REUSE FREE WITH PROBABILITY 95%`); err == nil {
+		t.Error("REUSE FREE without ORACLE LIMIT accepted")
+	}
+	// Programmatic construction is rejected by Validate.
+	q := &Query{
+		Table:           "v",
+		Oracle:          Predicate{Func: "o"},
+		Proxy:           Predicate{Func: "p"},
+		Type:            JointTargetQuery,
+		RecallTarget:    0.9,
+		PrecisionTarget: 0.9,
+		Probability:     0.95,
+		FreeReuse:       true,
+	}
+	if err := q.Validate(); err == nil {
+		t.Error("joint-target query with FreeReuse validated")
+	}
+}
+
+func TestParseWithoutReuseFreeDefaultsCharged(t *testing.T) {
+	q, err := Parse(rtQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.FreeReuse {
+		t.Error("FreeReuse defaulted to true")
+	}
+	if strings.Contains(q.String(), "REUSE") {
+		t.Errorf("String() invented a REUSE clause: %q", q.String())
+	}
+}

@@ -173,18 +173,49 @@ func TestJobUnknownAndBadRequests(t *testing.T) {
 	}
 }
 
+// TestQueryBodyLimit pins the query endpoints to the configured
+// Options.MaxBodyBytes — the same cap the dataset endpoints honor. A
+// hardcoded 1 MiB limit used to shadow the option on /v1/query and
+// /v1/jobs.
 func TestQueryBodyLimit(t *testing.T) {
-	_, ts := newJobTestServer(t, Options{})
-	huge := `{"sql":"` + strings.Repeat("x", 2<<20) + `"}`
+	_, ts := newJobTestServer(t, Options{MaxBodyBytes: 4096})
+	huge := `{"sql":"` + strings.Repeat("x", 8192) + `"}`
 	for _, path := range []string{"/v1/query", "/v1/jobs"} {
 		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(huge))
 		if err != nil {
 			t.Fatal(err)
 		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s: decoding 413 body: %v", path, err)
+		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusRequestEntityTooLarge {
 			t.Errorf("%s oversized body status %d, want 413", path, resp.StatusCode)
 		}
+		// Same 413 shape as the dataset endpoints.
+		if want := "request body exceeds the 4096-byte limit"; body.Error != want {
+			t.Errorf("%s 413 error = %q, want %q", path, body.Error, want)
+		}
+	}
+}
+
+// TestQueryBodyLimitHonorsConfiguredCap is the other half of the
+// regression: a statement larger than the old hardcoded 1 MiB cap must
+// be accepted when the configured cap allows it (it parses as a bad
+// query, not a 413).
+func TestQueryBodyLimitHonorsConfiguredCap(t *testing.T) {
+	_, ts := newJobTestServer(t, Options{})
+	big := `{"sql":"` + strings.Repeat("x", 2<<20) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("2 MiB body under the default 64 MiB cap: status %d, want 400 (bad query)", resp.StatusCode)
 	}
 }
 

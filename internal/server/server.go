@@ -53,6 +53,14 @@ type Options struct {
 	// IndexBuildParallelism bounds concurrent segment builds per index
 	// (default GOMAXPROCS).
 	IndexBuildParallelism int
+	// LabelCacheBytes bounds the cross-query oracle label store shared
+	// by every query and job (default 64 MiB; negative disables label
+	// reuse). In the default charged mode the store changes only the
+	// oracle UDF's call count, never query results.
+	LabelCacheBytes int64
+	// LabelCacheShards is the label store's shard count per (table,
+	// oracle) pair (default 16).
+	LabelCacheShards int
 }
 
 // defaultMaxBodyBytes caps uploads at 64 MiB unless overridden.
@@ -111,6 +119,8 @@ func NewWithOptions(seed uint64, opts Options) *Server {
 		engine: engine.NewWithOptions(seed, engine.Options{
 			SegmentSize:      opts.SegmentSize,
 			BuildParallelism: opts.IndexBuildParallelism,
+			LabelCacheBytes:  opts.LabelCacheBytes,
+			LabelCacheShards: opts.LabelCacheShards,
 		}),
 		summaries: make(map[string]dataset.Summary),
 		datasets:  make(map[string]*dataset.Dataset),
@@ -118,6 +128,9 @@ func NewWithOptions(seed uint64, opts Options) *Server {
 		opts:      opts,
 		counters:  &metrics.Counters{},
 	}
+	// Mirror label store activity into the service counters so
+	// GET /v1/stats reports hit/miss/eviction/invalidation totals.
+	s.engine.LabelStore().WithCounters(s.counters)
 	s.manager = jobs.NewManager(s.runJob, jobs.Config{
 		Workers:    opts.Workers,
 		QueueDepth: opts.JobQueueDepth,
@@ -241,8 +254,7 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("request body exceeds the %d-byte upload limit", tooBig.Limit))
+			writeBodyTooLarge(w, tooBig.Limit)
 			return
 		}
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -291,7 +303,7 @@ func (s *Server) handleAppendDataset(w http.ResponseWriter, name string, extra *
 	})
 }
 
-// QueryRequest is the /v1/query input.
+// QueryRequest is the /v1/query (and /v1/jobs) input.
 type QueryRequest struct {
 	SQL string `json:"sql"`
 	// IncludeIndices controls whether the (possibly large) id list is
@@ -299,6 +311,10 @@ type QueryRequest struct {
 	IncludeIndices bool `json:"include_indices"`
 	// MaxIndices caps the returned id list (0 = no cap).
 	MaxIndices int `json:"max_indices"`
+	// FreeReuse makes cross-query label store hits free instead of
+	// budget-charged for this query — the HTTP form of the grammar's
+	// ORACLE LIMIT ... REUSE FREE clause (either one enables it).
+	FreeReuse bool `json:"free_reuse"`
 }
 
 // QueryResponse is the /v1/query output.
@@ -310,7 +326,11 @@ type QueryResponse struct {
 	Tau         *float64 `json:"tau"`
 	OracleCalls int      `json:"oracle_calls"`
 	ProxyCalls  int      `json:"proxy_calls"`
-	ElapsedMS   float64  `json:"elapsed_ms"`
+	// LabelCacheHits counts labels served from the cross-query label
+	// store instead of the oracle UDF (included in oracle_calls unless
+	// the query ran with free reuse).
+	LabelCacheHits int     `json:"label_cache_hits"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
 	// Achieved metrics are computable here because uploaded datasets
 	// carry ground-truth labels (this is a simulation service).
 	AchievedPrecision float64 `json:"achieved_precision"`
@@ -324,7 +344,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	req, ok := decodeQueryRequest(w, r)
+	req, ok := s.decodeQueryRequest(w, r)
 	if !ok {
 		return
 	}
@@ -334,6 +354,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	res, err := s.engine.ExecuteContext(r.Context(), req.SQL, engine.ExecOptions{
 		OracleParallelism: s.opts.OracleParallelism,
 		Counters:          s.counters,
+		FreeReuse:         req.FreeReuse,
 	})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -342,20 +363,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.buildQueryResponse(req, res))
 }
 
-// maxQueryBodyBytes caps /v1/query and /v1/jobs request bodies; a SUPG
-// statement is tiny, so 1 MiB is generous.
-const maxQueryBodyBytes = 1 << 20
-
 // decodeQueryRequest parses and validates the shared query/job request
-// body, writing the HTTP error itself when invalid.
-func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (QueryRequest, bool) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBodyBytes)
+// body, writing the HTTP error itself when invalid. The body is capped
+// by the same configured Options.MaxBodyBytes the dataset endpoints
+// honor (it used to be a hardcoded 1 MiB, diverging from the
+// documented knob), and overflow returns the same 413 shape.
+func (s *Server) decodeQueryRequest(w http.ResponseWriter, r *http.Request) (QueryRequest, bool) {
+	if s.opts.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("request body exceeds the %d-byte limit", tooBig.Limit))
+			writeBodyTooLarge(w, tooBig.Limit)
 			return req, false
 		}
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
@@ -368,15 +389,23 @@ func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (QueryRequest, b
 	return req, true
 }
 
+// writeBodyTooLarge is the single 413 shape shared by every endpoint
+// that enforces Options.MaxBodyBytes.
+func writeBodyTooLarge(w http.ResponseWriter, limit int64) {
+	httpError(w, http.StatusRequestEntityTooLarge,
+		fmt.Sprintf("request body exceeds the %d-byte limit", limit))
+}
+
 // buildQueryResponse shapes an engine result for the wire, applying the
 // request's index-list controls and attaching achieved quality metrics
 // (computable because uploaded datasets carry ground truth).
 func (s *Server) buildQueryResponse(req QueryRequest, res *engine.QueryResult) QueryResponse {
 	resp := QueryResponse{
-		Returned:    len(res.Indices),
-		OracleCalls: res.OracleCalls,
-		ProxyCalls:  res.ProxyCalls,
-		ElapsedMS:   float64(res.Elapsed.Microseconds()) / 1000,
+		Returned:       len(res.Indices),
+		OracleCalls:    res.OracleCalls,
+		ProxyCalls:     res.ProxyCalls,
+		LabelCacheHits: res.LabelCacheHits,
+		ElapsedMS:      float64(res.Elapsed.Microseconds()) / 1000,
 	}
 	if !math.IsInf(res.Tau, 0) {
 		tau := res.Tau
@@ -409,6 +438,7 @@ func (s *Server) runJob(ctx context.Context, payload any, progress func(int)) (a
 		OracleParallelism: s.opts.OracleParallelism,
 		Progress:          progress,
 		Counters:          s.counters,
+		FreeReuse:         req.FreeReuse,
 	})
 	if err != nil {
 		return nil, err
@@ -460,7 +490,7 @@ func jobInfo(snap jobs.Snapshot) JobInfo {
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
-		req, ok := decodeQueryRequest(w, r)
+		req, ok := s.decodeQueryRequest(w, r)
 		if !ok {
 			return
 		}
