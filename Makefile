@@ -4,7 +4,7 @@ GO ?= go
 # drops below it. Raise it when coverage durably improves.
 COVER_FLOOR ?= 79.1
 
-.PHONY: all build test test-race vet fmt-check bench bench-labelstore cover cover-check fuzz-smoke
+.PHONY: all build test test-race vet fmt-check bench bench-labelstore bench-multiproxy cover cover-check fuzz-smoke
 
 all: build vet test
 
@@ -39,11 +39,14 @@ cover-check: cover
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 		{ echo "coverage $$total% fell below the $(COVER_FLOOR)% baseline"; exit 1; }
 
-# Short native-fuzzing runs of the dataset parsers (CI smoke; use
-# go test -fuzz directly for long local sessions).
+# Short native-fuzzing runs of the dataset parsers and the query
+# parser (CI smoke; use go test -fuzz directly for long local
+# sessions). FuzzParse checks parse -> String -> re-parse equality, so
+# the SQL grammar (REUSE FREE, FUSE, CALIBRATE) stays round-trip clean.
 fuzz-smoke:
 	$(GO) test ./internal/dataset -run '^$$' -fuzz '^FuzzLoadCSV$$' -fuzztime 10s
 	$(GO) test ./internal/dataset -run '^$$' -fuzz '^FuzzLoadBinary$$' -fuzztime 10s
+	$(GO) test ./internal/query -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s
 
 bench:
 	$(GO) test ./internal/engine -bench SelectHotPath -benchmem -run '^$$'
@@ -56,3 +59,10 @@ bench:
 # re-pays the full budget every run.
 bench-labelstore:
 	$(GO) test ./internal/engine -bench LabelStore -benchmem -run '^$$'
+
+# Multi-proxy fusion: fused (logistic) vs best-single-proxy selection
+# on a warm index, plus the warm-recalibration path. Both warm metrics
+# report 0 oracle UDF calls per op — the fused index is cached, and a
+# forced recalibration draws every label from the cross-query store.
+bench-multiproxy:
+	$(GO) test ./internal/engine -bench MultiProxy -benchmem -run '^$$'

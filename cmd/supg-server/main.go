@@ -46,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -74,6 +75,7 @@ func main() {
 		labelBytes  = flag.Int64("label-cache-bytes", 0, "cross-query oracle label cache budget in bytes (0 = default 64 MiB; negative disables label reuse)")
 		labelShards = flag.Int("label-cache-shards", 0, "label cache shards per (table, oracle) pair (0 = default 16)")
 		grace       = flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight jobs on shutdown")
+		variants    = flag.Bool("preload-proxy-variants", false, "register <preload>_proxy_soft (sqrt) and <preload>_proxy_sharp (squared) proxy variants so FUSE queries are demoable out of the box")
 	)
 	flag.Parse()
 
@@ -104,6 +106,16 @@ func main() {
 		srv.RegisterDataset(*preload, d)
 		fmt.Printf("preloaded %s: %d records (%.3f%% positive)\n",
 			*preload, d.Len(), 100*d.PositiveRate())
+		if *variants {
+			// Deterministic monotone transforms of the preloaded proxy:
+			// individually they are miscalibrated views of the same
+			// signal, which is exactly the shape FUSE queries combine —
+			// e.g. USING FUSE(mean, beta_proxy(x), beta_proxy_soft(x)).
+			soft, sharp := *preload+"_proxy_soft", *preload+"_proxy_sharp"
+			srv.RegisterProxy(soft, func(i int) float64 { return math.Sqrt(d.Score(i)) })
+			srv.RegisterProxy(sharp, func(i int) float64 { s := d.Score(i); return s * s })
+			fmt.Printf("registered proxy variants %s, %s\n", soft, sharp)
+		}
 	}
 
 	httpServer := &http.Server{

@@ -14,6 +14,19 @@
 // table is registered as "data" with UDFs data_oracle / data_proxy.
 // Because the CSV carries ground-truth labels, the command also reports
 // the achieved precision and recall of the returned set.
+//
+// Multi-proxy queries: each -aux name=path flag registers an extra
+// dataset under its own table name with <name>_oracle / <name>_proxy
+// UDFs, so a FUSE clause can combine several proxy columns over the
+// primary table (the aux datasets must have at least as many records):
+//
+//	supg -data video.csv -aux fast=fast.csv \
+//	  -query 'SELECT * FROM data
+//	  WHERE data_oracle(frame) = true
+//	  ORACLE LIMIT 1000
+//	  USING FUSE(logistic, data_proxy(frame), fast_proxy(frame)) CALIBRATE 200
+//	  RECALL TARGET 90%
+//	  WITH PROBABILITY 95%'
 package main
 
 import (
@@ -35,6 +48,15 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		showIDs   = flag.Int("show", 10, "number of returned record ids to print")
 	)
+	var aux []struct{ name, path string }
+	flag.Func("aux", "extra dataset as name=path.csv, registered with <name>_oracle/<name>_proxy UDFs for FUSE clauses (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path.csv, got %q", v)
+		}
+		aux = append(aux, struct{ name, path string }{name, path})
+		return nil
+	})
 	flag.Parse()
 
 	if *dataPath == "" {
@@ -52,23 +74,23 @@ func main() {
 		fatalf("missing -query or -query-file")
 	}
 
-	f, err := os.Open(*dataPath)
+	d, err := loadDataset(*dataPath, "data")
 	if err != nil {
-		fatalf("opening dataset: %v", err)
-	}
-	var d *dataset.Dataset
-	if strings.HasSuffix(*dataPath, ".bin") {
-		d, err = dataset.ReadBinary(f, "data")
-	} else {
-		d, err = dataset.ReadCSV(f, "data")
-	}
-	f.Close()
-	if err != nil {
-		fatalf("parsing dataset: %v", err)
+		fatalf("%v", err)
 	}
 
 	eng := engine.New(*seed)
 	eng.RegisterDatasetDefaults("data", d)
+	for _, a := range aux {
+		ad, err := loadDataset(a.path, a.name)
+		if err != nil {
+			fatalf("aux dataset %s: %v", a.name, err)
+		}
+		if ad.Len() < d.Len() {
+			fatalf("aux dataset %s has %d records, fewer than the primary's %d", a.name, ad.Len(), d.Len())
+		}
+		eng.RegisterDatasetDefaults(a.name, ad)
+	}
 
 	res, err := eng.Execute(sql)
 	if err != nil {
@@ -80,6 +102,10 @@ func main() {
 	fmt.Printf("returned:           %d\n", len(res.Indices))
 	fmt.Printf("proxy threshold:    %g\n", res.Tau)
 	fmt.Printf("oracle calls:       %d\n", res.OracleCalls)
+	if res.Fusion != "" {
+		fmt.Printf("fusion:             %s (%d calibration calls, %d from label cache)\n",
+			res.Fusion, res.CalibrationCalls, res.CalibrationCacheHits)
+	}
 	fmt.Printf("elapsed:            %v (proxy scan %v)\n", res.Elapsed, res.ProxyElapsed)
 	fmt.Printf("achieved precision: %.2f%%\n", 100*eval.Precision)
 	fmt.Printf("achieved recall:    %.2f%%\n", 100*eval.Recall)
@@ -90,6 +116,25 @@ func main() {
 		}
 		fmt.Printf("first %d ids:       %v\n", n, res.Indices[:n])
 	}
+}
+
+// loadDataset reads a CSV (or .bin binary) dataset from path.
+func loadDataset(path, name string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening dataset: %w", err)
+	}
+	defer f.Close()
+	var d *dataset.Dataset
+	if strings.HasSuffix(path, ".bin") {
+		d, err = dataset.ReadBinary(f, name)
+	} else {
+		d, err = dataset.ReadCSV(f, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("parsing dataset: %w", err)
+	}
+	return d, nil
 }
 
 func fatalf(format string, args ...any) {

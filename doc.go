@@ -155,4 +155,43 @@
 // query reports zero oracle calls. Hit/miss/eviction/invalidation
 // counters are exposed through Engine.LabelStore().Stats() and
 // GET /v1/stats.
+//
+// # Multi-proxy queries (FUSE score sources)
+//
+// Every layer below the parser speaks one score-source concept
+// (query.ScoreSource): one or more proxy UDFs plus a fusion strategy,
+// with the classic single-proxy query as the degenerate one-member
+// source. The USING clause accepts
+//
+//	USING FUSE(mean | max | logistic, p1(col), p2(col), ...) [CALIBRATE k]
+//
+// mean and max are label-free per-record combinations; logistic fits a
+// logistic-regression stacker on an oracle-labeled calibration sample
+// (k labels; default a fifth of the ORACLE LIMIT, clamped to
+// [30, limit/2]) and scores every record with it. Fusion never touches
+// the statistical guarantees — they are agnostic to proxy quality — it
+// only improves result quality when the proxies carry complementary
+// signal.
+//
+// The engine builds the fused column once per (table, score source),
+// indexes it through the same segmented builder as any proxy column,
+// and caches it under the full source identity (proxy set, strategy,
+// and for logistic the calibration budget and oracle UDF). Calibration
+// is charged to index construction rather than the query's ORACLE
+// LIMIT and reported separately (QueryResult.CalibrationCalls,
+// calibration_calls over HTTP); its labels flow through the
+// cross-query label store, so rebuilding a fused index — after a
+// member proxy re-registration, say — recalibrates without invoking
+// the oracle UDF at all. Label-free fused indexes extend incrementally
+// on AppendTable; calibrated ones are rebuilt (warm) because the
+// stacker must be refitted against the grown table. Re-registering any
+// member proxy invalidates a fused index, and re-registering or
+// wrapping the calibration oracle invalidates every index fitted with
+// its labels.
+//
+// The library path RunMulti keeps the one-shot semantics: fusion via
+// the same multiproxy.Fuser provider, with calibration charged against
+// the query's own budget (WithCalibrationBudget overrides the
+// default). See README.md ("Multi-proxy queries") and
+// examples/multiproxy.
 package supg

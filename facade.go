@@ -100,16 +100,30 @@ const (
 // MultiResult is RunMulti's answer.
 type MultiResult = multiproxy.Result
 
+// Fuser is the fusion provider RunMulti and the SQL engine share: a
+// pure transformer from K proxy columns to one fused column plus
+// calibration metadata (see the multiproxy package).
+type Fuser = multiproxy.Fuser
+
 // RunMulti answers a SUPG query over several proxy-score columns — the
 // multiple-proxy extension sketched in the paper's Section 8. Columns
 // are fused into one score per record (optionally calibrated with
 // oracle labels, within the budget) and the standard guarantees then
-// apply to the fused query.
+// apply to the fused query. It is a thin shim over the Fuser provider;
+// the SQL engine composes the same provider into its cached per-table
+// indexes (see the FUSE clause in the query grammar).
 func RunMulti(columns [][]float64, o Oracle, q Query, fusion Fusion, opts ...Option) (*MultiResult, error) {
 	rc := buildConfig(opts)
 	spec := coreSpec(q)
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return multiproxy.Select(randx.New(rc.seed), columns, o, spec, rc.cfg, fusion)
+	f := Fuser{Kind: fusion}
+	if fusion == FuseLogistic {
+		f.CalibrationBudget = rc.calib
+		if f.CalibrationBudget <= 0 {
+			f.CalibrationBudget = multiproxy.DefaultCalibration(spec.Budget)
+		}
+	}
+	return multiproxy.SelectFused(randx.New(rc.seed), columns, o, spec, rc.cfg, f)
 }

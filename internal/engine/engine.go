@@ -27,6 +27,7 @@ import (
 	"supg/internal/index"
 	"supg/internal/labelstore"
 	"supg/internal/metrics"
+	"supg/internal/multiproxy"
 	"supg/internal/oracle"
 	"supg/internal/query"
 	"supg/internal/randx"
@@ -39,31 +40,58 @@ type OracleUDF func(record int) (bool, error)
 // be in [0, 1].
 type ProxyUDF func(record int) float64
 
-// indexKey identifies one cached per-table proxy index.
+// indexKey identifies one cached per-table score-source index. source
+// is query.ScoreSource.CacheKey: the bare proxy name for single-proxy
+// sources (byte-compatible with the historical per-proxy cache), the
+// full fusion identity — strategy, member proxies, and for calibrated
+// fusions the calibration budget and oracle UDF — otherwise.
 type indexKey struct {
-	table string
-	proxy string
+	table  string
+	source string
+}
+
+// built is the output of one index build: the index itself plus the
+// work accounting the building query reports.
+type built struct {
+	ix *index.ScoreIndex
+	// proxyCalls is the number of proxy UDF evaluations performed
+	// (members × records for fused sources).
+	proxyCalls int
+	// calibCalls / calibHits account the calibration labels of a
+	// calibrated fusion: budget-consuming oracle calls and the subset
+	// served by the cross-query label store.
+	calibCalls int
+	calibHits  int
 }
 
 // indexEntry is a lazily-built, shared ScoreIndex. The sync.Once makes
-// concurrent first queries of the same (table, proxy) pair build the
+// concurrent first queries of the same (table, source) pair build the
 // index exactly once while the others wait for it. The build closure
-// snapshots the table and proxy under the same lock that publishes the
-// entry into the cache, so an entry can never be built from
+// snapshots the table, member proxies, and (for calibrated fusions)
+// the oracle and label-store handle under the same lock that publishes
+// the entry into the cache, so an entry can never be built from
 // registrations older than the ones its cache slot represents (a later
 // re-registration deletes the slot, and the next query snapshots fresh
 // state). An append publishes a new entry whose closure chains on the
 // replaced one, indexing only the appended records.
+//
+// The proxies/fusion/calibOracle fields are immutable invalidation
+// metadata: re-registering any member proxy drops the entry, and
+// re-registering (or wrapping) the calibration oracle drops every
+// fused index whose stacker was fitted with its labels.
 type indexEntry struct {
-	// build produces the index plus the number of proxy evaluations it
-	// performed. Set at entry creation, run at most once via ensure.
-	build func() (*index.ScoreIndex, int, error)
+	// build produces the index plus its work accounting. Set at entry
+	// creation, run at most once via ensure.
+	build func() (built, error)
 
-	once       sync.Once
-	ix         *index.ScoreIndex
-	proxyCalls int
-	err        error
-	elapsed    time.Duration // wall time of the proxy scan + index build
+	proxies     []string         // member proxy UDFs, in source order
+	fusion      query.FusionKind // FusionNone for single-proxy entries
+	calibOracle string           // oracle UDF a calibrated fusion was fitted with ("" otherwise)
+
+	once    sync.Once
+	res     built
+	err     error
+	elapsed time.Duration // wall time of the proxy scan + fusion + index build
 }
 
 // ensure runs the entry's build exactly once (concurrent callers wait)
@@ -73,7 +101,7 @@ func (en *indexEntry) ensure() bool {
 	en.once.Do(func() {
 		ran = true
 		start := time.Now()
-		en.ix, en.proxyCalls, en.err = en.build()
+		en.res, en.err = en.build()
 		en.elapsed = time.Since(start)
 		// Release the closure: an append entry's build holds the whole
 		// parent-entry chain (old indexes, captured datasets), which
@@ -81,6 +109,16 @@ func (en *indexEntry) ensure() bool {
 		en.build = nil
 	})
 	return ran
+}
+
+// usesProxy reports whether the entry's source reads the named proxy.
+func (en *indexEntry) usesProxy(name string) bool {
+	for _, p := range en.proxies {
+		if p == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Options tune index construction for all tables of an engine. The
@@ -214,48 +252,112 @@ func (e *Engine) AppendTable(name string, extra *dataset.Dataset) (*dataset.Data
 		if key.table != name {
 			continue
 		}
-		proxyFn, ok := e.proxies[key.proxy]
+		// Calibrated fusions cannot extend incrementally: the stacker is
+		// fitted on a uniform sample of the whole table, so an append
+		// changes the population it must be calibrated against. Drop the
+		// entry — the next query rebuilds and recalibrates, and its
+		// labels come warm out of the cross-query label store.
+		if parent.fusion.Calibrated() {
+			delete(e.indexes, key)
+			continue
+		}
+		fns := make([]ProxyUDF, len(parent.proxies))
+		ok := true
+		for i, p := range parent.proxies {
+			if fns[i], ok = e.proxies[p]; !ok {
+				break
+			}
+		}
 		if !ok {
 			delete(e.indexes, key)
 			continue
 		}
-		key := key
-		e.indexes[key] = &indexEntry{build: func() (*index.ScoreIndex, int, error) {
-			calls := 0
-			if parent.ensure() {
-				calls += parent.proxyCalls
-			}
-			if parent.err != nil {
-				return nil, calls, parent.err
-			}
-			fresh := scoreRange(proxyFn, oldLen, newLen)
-			ix, err := parent.ix.Append(fresh)
-			if err != nil {
-				return nil, calls, fmt.Errorf("engine: proxy %q: %w", key.proxy, err)
-			}
-			return ix, calls + (newLen - oldLen), nil
-		}}
+		key, parent := key, parent
+		fusion := parent.fusion
+		e.indexes[key] = &indexEntry{
+			proxies: parent.proxies,
+			fusion:  fusion,
+			build: func() (built, error) {
+				var b built
+				if parent.ensure() {
+					b.proxyCalls += parent.res.proxyCalls
+				}
+				if parent.err != nil {
+					return b, parent.err
+				}
+				fresh, err := fuseRange(fns, fusion, oldLen, newLen)
+				if err != nil {
+					return b, fmt.Errorf("engine: source %q: %w", key.source, err)
+				}
+				b.proxyCalls += len(fns) * (newLen - oldLen)
+				ix, err := parent.res.ix.Append(fresh)
+				if err != nil {
+					return b, fmt.Errorf("engine: source %q: %w", key.source, err)
+				}
+				b.ix = ix
+				return b, nil
+			},
+		}
 	}
 	return combined, nil
 }
 
+// fuseRange evaluates every member proxy over records [lo, hi) and
+// fuses the columns with the label-free strategy (FusionNone passes the
+// single column through). Label-free fusions are per-record functions,
+// which is what makes incremental appends possible: fusing only the
+// appended rows yields exactly the rows a full rebuild would compute.
+func fuseRange(fns []ProxyUDF, fusion query.FusionKind, lo, hi int) ([]float64, error) {
+	cols := make([][]float64, len(fns))
+	for i, fn := range fns {
+		cols[i] = scoreRange(fn, lo, hi)
+	}
+	if fusion == query.FusionNone {
+		return cols[0], nil
+	}
+	fuser, err := fuserFor(fusion, 0)
+	if err != nil {
+		return nil, err
+	}
+	fused, err := fuser.Fuse(nil, cols, nil)
+	if err != nil {
+		return nil, err
+	}
+	return fused.Scores, nil
+}
+
+// fuserFor maps the grammar's fusion kind onto the multiproxy provider.
+func fuserFor(fusion query.FusionKind, calibBudget int) (multiproxy.Fuser, error) {
+	switch fusion {
+	case query.FusionMean:
+		return multiproxy.Fuser{Kind: multiproxy.FuseMean}, nil
+	case query.FusionMax:
+		return multiproxy.Fuser{Kind: multiproxy.FuseMax}, nil
+	case query.FusionLogistic:
+		return multiproxy.Fuser{Kind: multiproxy.FuseLogistic, CalibrationBudget: calibBudget}, nil
+	}
+	return multiproxy.Fuser{}, fmt.Errorf("engine: unknown fusion %v", fusion)
+}
+
 // RegisterOracle adds an oracle UDF under the given function name,
-// invalidating any stored labels bought from a previous registration.
+// invalidating any stored labels bought from a previous registration
+// and any fused index whose calibration was fitted with its labels.
 func (e *Engine) RegisterOracle(name string, fn OracleUDF) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.oracles[name] = fn
-	e.labels.InvalidateOracle(name)
+	e.invalidateOracleLocked(name)
 }
 
 // RegisterProxy adds a proxy UDF under the given function name,
-// invalidating any cached indexes built from a previous registration.
+// invalidating any cached index built from a previous registration —
+// including every fused index the name is a member of.
 func (e *Engine) RegisterProxy(name string, fn ProxyUDF) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.proxies[name] = fn
-	for k := range e.indexes {
-		if k.proxy == name {
+	for k, en := range e.indexes {
+		if en.usesProxy(name) {
 			delete(e.indexes, k)
 		}
 	}
@@ -264,8 +366,9 @@ func (e *Engine) RegisterProxy(name string, fn ProxyUDF) {
 // WrapOracle replaces a registered oracle UDF with wrap(current) — the
 // hook for layering simulated latency or instrumentation onto an
 // existing registration without re-implementing it. It reports whether
-// the name was registered. Stored labels of the name are invalidated:
-// the wrapper may change what the function answers.
+// the name was registered. Stored labels of the name are invalidated —
+// the wrapper may change what the function answers — and with them
+// every fused index calibrated through it.
 func (e *Engine) WrapOracle(name string, wrap func(OracleUDF) OracleUDF) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -274,8 +377,20 @@ func (e *Engine) WrapOracle(name string, wrap func(OracleUDF) OracleUDF) bool {
 		return false
 	}
 	e.oracles[name] = wrap(fn)
-	e.labels.InvalidateOracle(name)
+	e.invalidateOracleLocked(name)
 	return true
+}
+
+// invalidateOracleLocked drops everything derived from labels of the
+// named oracle: the label store's cache and every index whose fused
+// column was calibrated with it. Callers hold e.mu.
+func (e *Engine) invalidateOracleLocked(name string) {
+	e.labels.InvalidateOracle(name)
+	for k, en := range e.indexes {
+		if en.calibOracle == name {
+			delete(e.indexes, k)
+		}
+	}
 }
 
 // RegisterDatasetDefaults registers table name plus "<name>_oracle" and
@@ -306,8 +421,8 @@ func (e *Engine) RegisterDatasetDefaults(name string, d *dataset.Dataset) {
 	}
 	e.proxies[proxyName] = func(i int) float64 { return ref.Load().Score(i) }
 	e.refs[name] = ref
-	for k := range e.indexes {
-		if k.table == name || k.proxy == proxyName {
+	for k, en := range e.indexes {
+		if k.table == name || en.usesProxy(proxyName) || en.calibOracle == oracleName {
 			delete(e.indexes, k)
 		}
 	}
@@ -323,14 +438,29 @@ type QueryResult struct {
 	Tau float64
 	// OracleCalls counts budget-consuming oracle invocations.
 	OracleCalls int
-	// ProxyCalls counts proxy evaluations performed by this query: |D|
-	// when the query built the table's score index from scratch, only
-	// the appended records when it extended an index after AppendTable,
-	// and 0 when a cached index was reused.
+	// ProxyCalls counts proxy evaluations performed by this query:
+	// members × |D| when the query built the table's score-source index
+	// from scratch, only the appended records when it extended an index
+	// after AppendTable, and 0 when a cached index was reused.
 	ProxyCalls int
-	// IndexBuilt reports whether this query performed the proxy scan
-	// and index construction (the first query of a table/proxy pair).
+	// IndexBuilt reports whether this query performed the proxy scan,
+	// fusion, and index construction (the first query of a
+	// table/score-source pair).
 	IndexBuilt bool
+	// Fusion names the score source's fusion strategy ("mean", "max",
+	// "logistic"; empty for the classic single-proxy form).
+	Fusion string
+	// CalibrationCalls counts the budget-consuming oracle calls spent
+	// calibrating a fused index when this query built it (0 on cache
+	// hits and for label-free sources). Calibration is charged to index
+	// construction — not to the query's ORACLE LIMIT — and amortized
+	// across every query sharing the fused index.
+	CalibrationCalls int
+	// CalibrationCacheHits counts the calibration labels served by the
+	// cross-query label store instead of the oracle UDF: a warm
+	// recalibration reports CalibrationCalls == CalibrationCacheHits
+	// and costs zero real oracle invocations.
+	CalibrationCacheHits int
 	// LabelCacheHits counts labels served from the cross-query label
 	// store instead of the oracle UDF. In the default charged mode they
 	// are included in OracleCalls (budget accounting is unchanged); in
@@ -404,7 +534,14 @@ func (e *Engine) ExecutePlanContext(ctx context.Context, plan *query.Plan, opts 
 	e.mu.RLock()
 	_, okT := e.tables[plan.Table]
 	oracleFn, okO := e.oracles[plan.OracleUDF]
-	_, okP := e.proxies[plan.ProxyUDF]
+	missingProxy := ""
+	for _, p := range plan.Source.Proxies {
+		if _, ok := e.proxies[p]; !ok {
+			missingProxy = p
+			break
+		}
+	}
+	okP := missingProxy == "" && len(plan.Source.Proxies) > 0
 	seed := e.seed
 	// The label cache handle must be snapshotted under the same lock
 	// that read oracleFn: invalidation (RegisterOracle et al.) replaces
@@ -425,7 +562,7 @@ func (e *Engine) ExecutePlanContext(ctx context.Context, plan *query.Plan, opts 
 		return nil, fmt.Errorf("engine: unknown oracle UDF %q", plan.OracleUDF)
 	}
 	if !okP {
-		return nil, fmt.Errorf("engine: unknown proxy UDF %q", plan.ProxyUDF)
+		return nil, fmt.Errorf("engine: unknown proxy UDF %q", missingProxy)
 	}
 
 	start := time.Now()
@@ -458,13 +595,18 @@ func (e *Engine) ExecutePlanContext(ctx context.Context, plan *query.Plan, opts 
 	}
 
 	res := &QueryResult{Plan: plan, IndexBuilt: built}
+	if !plan.Source.Single() {
+		res.Fusion = plan.Source.Fusion.String()
+	}
 	if built {
-		res.ProxyCalls = entry.proxyCalls
+		res.ProxyCalls = entry.res.proxyCalls
 		res.ProxyElapsed = entry.elapsed
+		res.CalibrationCalls = entry.res.calibCalls
+		res.CalibrationCacheHits = entry.res.calibHits
 	}
 	switch plan.Kind {
 	case query.PlanBudgeted:
-		sel, err := core.SelectFromContextOptions(ctx, rng, entry.ix, orc, plan.Spec, plan.Config, sopts)
+		sel, err := core.SelectFromContextOptions(ctx, rng, entry.res.ix, orc, plan.Spec, plan.Config, sopts)
 		if err != nil {
 			return nil, err
 		}
@@ -473,7 +615,7 @@ func (e *Engine) ExecutePlanContext(ctx context.Context, plan *query.Plan, opts 
 		res.OracleCalls = sel.OracleCalls
 		res.LabelCacheHits = sel.CachedLabels
 	case query.PlanJoint:
-		sel, err := core.SelectJointFromContextOptions(ctx, rng, entry.ix, orc, plan.JointSpec, plan.Config, sopts)
+		sel, err := core.SelectJointFromContextOptions(ctx, rng, entry.res.ix, orc, plan.JointSpec, plan.Config, sopts)
 		if err != nil {
 			return nil, err
 		}
@@ -544,18 +686,20 @@ func (c *countingOracle) Label(i int) (bool, error) {
 }
 
 // tableIndex returns the shared ScoreIndex for the plan's (table,
-// proxy) pair, building it on first use. The second return reports
-// whether this call performed the build. The current table and proxy
+// score source) pair, building it on first use. The second return
+// reports whether this call performed the build. The current table,
+// member proxy, and — for calibrated fusions — oracle and label-store
 // registrations are captured (into the build closure) under the write
 // lock that publishes the entry, so a concurrent re-registration
 // either deletes the slot before publication (the build sees the new
 // state) or after (the slot is gone and the next query snapshots
 // afresh) — a cached index can never outlive the registrations it was
-// built from. A build error is cached with the entry — the proxy is
-// deterministic by contract, so retrying cannot succeed until the
-// table or proxy is re-registered (which drops the entry).
+// built from. A build error is cached with the entry — the proxies are
+// deterministic by contract and calibration randomness is derived from
+// the engine seed plus the source identity, so retrying cannot succeed
+// until a member registration changes (which drops the entry).
 func (e *Engine) tableIndex(plan *query.Plan) (*indexEntry, bool, error) {
-	key := indexKey{table: plan.Table, proxy: plan.ProxyUDF}
+	key := indexKey{table: plan.Table, source: plan.Source.CacheKey(plan.OracleUDF)}
 	e.mu.RLock()
 	entry := e.indexes[key]
 	e.mu.RUnlock()
@@ -563,21 +707,12 @@ func (e *Engine) tableIndex(plan *query.Plan) (*indexEntry, bool, error) {
 		e.mu.Lock()
 		entry = e.indexes[key]
 		if entry == nil {
-			table, okT := e.tables[plan.Table]
-			proxyFn, okP := e.proxies[plan.ProxyUDF]
-			if !okT || !okP {
+			var err error
+			entry, err = e.newIndexEntryLocked(key, plan)
+			if err != nil {
 				e.mu.Unlock()
-				return nil, false, fmt.Errorf("engine: table %q / proxy %q no longer registered", plan.Table, plan.ProxyUDF)
+				return nil, false, err
 			}
-			opts := e.ixOpts
-			entry = &indexEntry{build: func() (*index.ScoreIndex, int, error) {
-				scores := scoreRange(proxyFn, 0, table.Len())
-				ix, err := index.NewWithOptions(scores, opts)
-				if err != nil {
-					return nil, table.Len(), fmt.Errorf("engine: proxy %q: %w", plan.ProxyUDF, err)
-				}
-				return ix, table.Len(), nil
-			}}
 			e.indexes[key] = entry
 		}
 		e.mu.Unlock()
@@ -587,6 +722,104 @@ func (e *Engine) tableIndex(plan *query.Plan) (*indexEntry, bool, error) {
 		return nil, built, entry.err
 	}
 	return entry, built, nil
+}
+
+// newIndexEntryLocked snapshots the registrations the plan's score
+// source reads and returns an unbuilt cache entry for it. Callers hold
+// e.mu for writing.
+func (e *Engine) newIndexEntryLocked(key indexKey, plan *query.Plan) (*indexEntry, error) {
+	table, okT := e.tables[plan.Table]
+	if !okT {
+		return nil, fmt.Errorf("engine: table %q no longer registered", plan.Table)
+	}
+	src := plan.Source
+	fns := make([]ProxyUDF, len(src.Proxies))
+	for i, p := range src.Proxies {
+		fn, ok := e.proxies[p]
+		if !ok {
+			return nil, fmt.Errorf("engine: table %q / proxy %q no longer registered", plan.Table, p)
+		}
+		fns[i] = fn
+	}
+	opts := e.ixOpts
+	entry := &indexEntry{
+		proxies: append([]string(nil), src.Proxies...),
+		fusion:  src.Fusion,
+	}
+
+	if src.Single() {
+		proxyFn, proxyName := fns[0], src.Proxies[0]
+		entry.build = func() (built, error) {
+			scores := scoreRange(proxyFn, 0, table.Len())
+			ix, err := index.NewWithOptions(scores, opts)
+			if err != nil {
+				return built{proxyCalls: table.Len()}, fmt.Errorf("engine: proxy %q: %w", proxyName, err)
+			}
+			return built{ix: ix, proxyCalls: table.Len()}, nil
+		}
+		return entry, nil
+	}
+
+	fuser, err := fuserFor(src.Fusion, src.CalibrationBudget)
+	if err != nil {
+		return nil, err
+	}
+	// Calibrated fusions label their calibration sample through a
+	// dedicated budgeted oracle backed by the cross-query label store:
+	// the first build pays real oracle calls, and any rebuild of the
+	// same source (after a proxy re-registration or an append) is served
+	// warm. The calibration random stream derives from the engine seed
+	// and the source identity — never from the query text — so every
+	// query of the source shares one fused column.
+	var (
+		oracleFn   OracleUDF
+		labelCache *labelstore.Cache
+		seed       = e.seed
+	)
+	if src.Fusion.Calibrated() {
+		var okO bool
+		oracleFn, okO = e.oracles[plan.OracleUDF]
+		if !okO {
+			return nil, fmt.Errorf("engine: oracle UDF %q no longer registered", plan.OracleUDF)
+		}
+		entry.calibOracle = plan.OracleUDF
+		if e.labels != nil {
+			labelCache = e.labels.Cache(plan.Table, plan.OracleUDF)
+		}
+	}
+	sourceID := key.source
+	entry.build = func() (built, error) {
+		n := table.Len()
+		cols := make([][]float64, len(fns))
+		for i, fn := range fns {
+			cols[i] = scoreRange(fn, 0, n)
+		}
+		b := built{proxyCalls: len(fns) * n}
+		var budgeted *oracle.Budgeted
+		if fuser.NeedsOracle() {
+			budgeted = oracle.NewBudgeted(oracle.Func(oracleFn), fuser.CalibrationBudget)
+			if labelCache != nil {
+				// Guard before the interface conversion: a typed-nil
+				// *labelstore.Cache would defeat WithStore's nil check and
+				// panic on first use when the label store is disabled.
+				budgeted.WithStore(labelCache, false)
+			}
+		}
+		rng := randx.New(seed).Stream(hashString("calibrate:" + sourceID))
+		fused, err := fuser.Fuse(rng, cols, budgeted)
+		if err != nil {
+			return b, fmt.Errorf("engine: source %q: %w", sourceID, err)
+		}
+		b.calibCalls = fused.CalibrationCalls
+		b.calibHits = fused.CalibrationStoreHits
+		ix, err := index.NewWithOptions(fused.Scores, opts)
+		if err != nil {
+			return b, fmt.Errorf("engine: source %q: %w", sourceID, err)
+		}
+		b.ix = ix
+		return b, nil
+	}
+	return entry, nil
 }
 
 // scoreAll evaluates the proxy over all records, in parallel shards.

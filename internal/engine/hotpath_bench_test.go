@@ -144,7 +144,7 @@ func BenchmarkIndexBuild(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if !built || entry.ix.Len() != d.Len() {
+		if !built || entry.res.ix.Len() != d.Len() {
 			b.Fatal("index not built")
 		}
 	}

@@ -11,9 +11,16 @@
 //
 //   - FuseMean / FuseMax: label-free combinations.
 //   - FuseLogistic: a logistic-regression stacker calibrated on a small
-//     oracle-labeled sample. The calibration labels are drawn through
-//     the same budgeted oracle as the query, so the total oracle budget
-//     is respected end to end.
+//     oracle-labeled sample drawn through a budgeted oracle.
+//
+// The package is a fusion provider, not a query engine: Fuser turns
+// proxy columns into one fused column plus calibration metadata, and
+// the callers decide where that column lives. The SQL engine composes a
+// Fuser into its per-table index builds (the fused column becomes a
+// cached, segmented ScoreIndex shared by every query of the same score
+// source, with calibration labels flowing through the cross-query label
+// store), while the Select shim below runs the classic one-shot
+// library path where calibration shares the query's own oracle budget.
 package multiproxy
 
 import (
@@ -229,6 +236,80 @@ func (m *LogisticModel) Apply(columns [][]float64) ([]float64, error) {
 	return out, nil
 }
 
+// Fuser is a fusion provider: a pure transformer from K proxy-score
+// columns to the one fused column the selection machinery consumes.
+// The zero CalibrationBudget is invalid for FuseLogistic; callers (the
+// query planner, the Select shim) resolve a concrete budget first so
+// equal Fusers always produce equal columns.
+type Fuser struct {
+	// Kind selects the fusion strategy.
+	Kind Fusion
+	// CalibrationBudget caps the oracle labels spent fitting a
+	// calibrated (logistic) stacker. Ignored by label-free kinds.
+	CalibrationBudget int
+}
+
+// Fused is a Fuser's output: the fused column plus the metadata callers
+// surface in query statistics.
+type Fused struct {
+	// Scores is the fused column, one score per record.
+	Scores []float64
+	// CalibrationCalls counts the budget-consuming oracle calls spent on
+	// calibration (0 for label-free fusions).
+	CalibrationCalls int
+	// CalibrationStoreHits counts calibration labels served from the
+	// oracle's attached cross-query label store instead of the inner
+	// UDF (subset of CalibrationCalls in charged mode).
+	CalibrationStoreHits int
+	// Model is the fitted stacker for calibrated fusions (nil otherwise).
+	Model *LogisticModel
+}
+
+// NeedsOracle reports whether fusing requires calibration labels.
+func (f Fuser) NeedsOracle() bool { return f.Kind == FuseLogistic }
+
+// Fuse produces the fused column. Label-free kinds ignore r and o (nil
+// is fine); FuseLogistic draws its calibration sample with r and labels
+// it through o, consuming at most CalibrationBudget units of o's
+// budget. The same (r, columns, labels) always yield the same column —
+// fusion is deterministic, which is what lets engines cache its output.
+func (f Fuser) Fuse(r *randx.Rand, columns [][]float64, o *oracle.Budgeted) (*Fused, error) {
+	switch f.Kind {
+	case FuseMean:
+		scores, err := Mean(columns)
+		if err != nil {
+			return nil, err
+		}
+		return &Fused{Scores: scores}, nil
+	case FuseMax:
+		scores, err := Max(columns)
+		if err != nil {
+			return nil, err
+		}
+		return &Fused{Scores: scores}, nil
+	case FuseLogistic:
+		if o == nil {
+			return nil, fmt.Errorf("multiproxy: logistic fusion needs a budgeted oracle")
+		}
+		before, beforeHits := o.Used(), o.StoreHits()
+		model, err := Calibrate(r, columns, o, f.CalibrationBudget)
+		if err != nil {
+			return nil, err
+		}
+		scores, err := model.Apply(columns)
+		if err != nil {
+			return nil, err
+		}
+		return &Fused{
+			Scores:               scores,
+			CalibrationCalls:     o.Used() - before,
+			CalibrationStoreHits: o.StoreHits() - beforeHits,
+			Model:                model,
+		}, nil
+	}
+	return nil, fmt.Errorf("multiproxy: unknown fusion %v", f.Kind)
+}
+
 // Result is a multi-proxy SUPG answer, extending core.Result with the
 // fusion bookkeeping.
 type Result struct {
@@ -240,12 +321,38 @@ type Result struct {
 	CalibrationCalls int
 }
 
+// DefaultCalibration resolves the library-path logistic calibration
+// budget from a query's total oracle budget: 20% of it, at least 30
+// calls, at most half.
+func DefaultCalibration(budget int) int {
+	calib := budget / 5
+	if calib < 30 {
+		calib = 30
+	}
+	if calib > budget/2 {
+		calib = budget / 2
+	}
+	return calib
+}
+
 // Select answers a SUPG query over multiple proxy columns: fuse, then
 // run the configured single-proxy estimator on the fused scores. For
-// FuseLogistic, 20% of the oracle budget (at least 30 calls, at most
-// half) is reserved for stacker calibration and the remainder drives
-// threshold estimation; the spec's total budget is never exceeded.
+// FuseLogistic, DefaultCalibration of the oracle budget is reserved for
+// stacker calibration and the remainder drives threshold estimation;
+// the spec's total budget is never exceeded.
 func Select(r *randx.Rand, columns [][]float64, orc oracle.Oracle, spec core.Spec, cfg core.Config, fusion Fusion) (*Result, error) {
+	f := Fuser{Kind: fusion}
+	if fusion == FuseLogistic {
+		f.CalibrationBudget = DefaultCalibration(spec.Budget)
+	}
+	return SelectFused(r, columns, orc, spec, cfg, f)
+}
+
+// SelectFused is Select with an explicit Fuser — the thin shim the
+// facade keeps over the fusion provider. Calibration shares the query's
+// own oracle budget (the engine path instead charges calibration to
+// index construction and amortizes it across queries).
+func SelectFused(r *randx.Rand, columns [][]float64, orc oracle.Oracle, spec core.Spec, cfg core.Config, f Fuser) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -254,40 +361,14 @@ func Select(r *randx.Rand, columns [][]float64, orc oracle.Oracle, spec core.Spe
 	}
 
 	budgeted := oracle.NewBudgeted(orc, spec.Budget)
-	var fused []float64
-	var err error
-	calibCalls := 0
-	switch fusion {
-	case FuseMean:
-		fused, err = Mean(columns)
-	case FuseMax:
-		fused, err = Max(columns)
-	case FuseLogistic:
-		calib := spec.Budget / 5
-		if calib < 30 {
-			calib = 30
-		}
-		if calib > spec.Budget/2 {
-			calib = spec.Budget / 2
-		}
-		before := budgeted.Used()
-		model, cerr := Calibrate(r.Stream(1), columns, budgeted, calib)
-		if cerr != nil {
-			return nil, cerr
-		}
-		calibCalls = budgeted.Used() - before
-		fused, err = model.Apply(columns)
-	default:
-		return nil, fmt.Errorf("multiproxy: unknown fusion %v", fusion)
-	}
+	fused, err := f.Fuse(r.Stream(1), columns, budgeted)
 	if err != nil {
 		return nil, err
 	}
 
-	remaining := spec.Budget - calibCalls
 	subSpec := spec
-	subSpec.Budget = remaining
-	tr, err := core.EstimateTau(r.Stream(2), fused, budgeted, subSpec, cfg)
+	subSpec.Budget = spec.Budget - fused.CalibrationCalls
+	tr, err := core.EstimateTau(r.Stream(2), fused.Scores, budgeted, subSpec, cfg)
 	if err != nil && err != core.ErrNoPositives {
 		return nil, err
 	}
@@ -295,8 +376,8 @@ func Select(r *randx.Rand, columns [][]float64, orc oracle.Oracle, spec core.Spe
 		tr.Tau = math.Inf(1)
 	}
 
-	sel := assembleResult(fused, tr, budgeted)
-	return &Result{Result: sel, Fusion: fusion, CalibrationCalls: calibCalls}, nil
+	sel := assembleResult(fused.Scores, tr, budgeted)
+	return &Result{Result: sel, Fusion: f.Kind, CalibrationCalls: fused.CalibrationCalls}, nil
 }
 
 // assembleResult mirrors core's R1 ∪ R2 assembly using the budgeted

@@ -257,6 +257,130 @@ func TestSelectMultiValidation(t *testing.T) {
 	}
 }
 
+// complementaryProxyDataset builds the adversarial-for-single-proxy
+// shape: two independent uniform signals a, b with labels drawn as
+// Bernoulli(a*b). Each proxy alone sees only half the signal (given a
+// high a, the label still hinges entirely on b), so any single-proxy
+// ranking is mediocre; a fused ranking over both recovers it.
+func complementaryProxyDataset(seed uint64, n int) (d *dataset.Dataset, columns [][]float64) {
+	r := randx.New(seed)
+	ra, rb, rl := r.Stream(1), r.Stream(2), r.Stream(3)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	labels := make([]bool, n)
+	for i := 0; i < n; i++ {
+		a[i] = ra.Float64()
+		b[i] = rb.Float64()
+		labels[i] = rl.Bernoulli(a[i] * b[i])
+	}
+	d, err := dataset.New("complementary", a, labels)
+	if err != nil {
+		panic(err)
+	}
+	return d, [][]float64{a, b}
+}
+
+// TestLogisticFusionBeatsMediocreSingles mirrors the engine-level
+// TestSUPGBeatsUniformOnPrecisionTarget for the multi-proxy extension:
+// at the same total oracle budget, fused (logistic) selection must
+// yield strictly better quality than either mediocre single proxy, and
+// the recall guarantee must keep holding (failure rate <= delta +
+// slack over deterministic trials) — fusion changes quality, never
+// validity.
+func TestLogisticFusionBeatsMediocreSingles(t *testing.T) {
+	d, cols := complementaryProxyDataset(21, 50000)
+	spec := core.Spec{Kind: core.RecallTarget, Gamma: 0.9, Delta: 0.05, Budget: 2000}
+	cfg := core.DefaultSUPG()
+	r := randx.New(22)
+	trials := 30
+
+	var fusedFails int
+	quality := func(scores [][]float64, fusion Fusion, streamBase uint64, countFails bool) float64 {
+		sum := 0.0
+		for trial := 0; trial < trials; trial++ {
+			res, err := Select(r.Stream(streamBase+uint64(trial)), scores, oracle.NewSimulated(d), spec, cfg, fusion)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.OracleCalls > spec.Budget {
+				t.Fatalf("oracle calls %d exceed budget %d", res.OracleCalls, spec.Budget)
+			}
+			e := metrics.Evaluate(d, res.Indices)
+			if countFails && e.Recall < spec.Gamma {
+				fusedFails++
+			}
+			sum += e.Precision
+		}
+		return sum / float64(trials)
+	}
+
+	singleA := quality(cols[:1], FuseMean, 1000, false) // one-member mean = the bare column
+	singleB := quality(cols[1:], FuseMean, 2000, false)
+	fused := quality(cols, FuseLogistic, 3000, true)
+
+	best := singleA
+	if singleB > best {
+		best = singleB
+	}
+	t.Logf("fused=%.4f singleA=%.4f singleB=%.4f fails=%d", fused, singleA, singleB, fusedFails)
+	if fused <= best {
+		t.Fatalf("fused logistic precision %.4f should strictly beat best single proxy %.4f (a=%.4f b=%.4f)",
+			fused, best, singleA, singleB)
+	}
+	if rate := float64(fusedFails) / float64(trials); rate > spec.Delta+0.10 {
+		t.Fatalf("fused recall-guarantee failure rate %.3f above delta %.2f + slack", rate, spec.Delta)
+	}
+}
+
+func TestFuserLabelFree(t *testing.T) {
+	cols := [][]float64{{0.2, 0.8}, {0.4, 0.2}}
+	for _, f := range []Fuser{{Kind: FuseMean}, {Kind: FuseMax}} {
+		if f.NeedsOracle() {
+			t.Errorf("%v claims to need an oracle", f.Kind)
+		}
+		out, err := f.Fuse(nil, cols, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Scores) != 2 || out.CalibrationCalls != 0 || out.Model != nil {
+			t.Errorf("%v fused %+v", f.Kind, out)
+		}
+	}
+	if _, err := (Fuser{Kind: Fusion(9)}).Fuse(nil, cols, nil); err == nil {
+		t.Error("unknown fuser kind accepted")
+	}
+	if _, err := (Fuser{Kind: FuseLogistic, CalibrationBudget: 50}).Fuse(randx.New(1), cols, nil); err == nil {
+		t.Error("logistic fuse without an oracle accepted")
+	}
+}
+
+func TestFuserLogisticMetadata(t *testing.T) {
+	d, cols := twoProxyDataset(13, 20000)
+	budgeted := oracle.NewBudgeted(oracle.NewSimulated(d), 1000)
+	f := Fuser{Kind: FuseLogistic, CalibrationBudget: 120}
+	if !f.NeedsOracle() {
+		t.Error("logistic fuser claims label-free")
+	}
+	out, err := f.Fuse(randx.New(14), cols, budgeted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CalibrationCalls != 120 || budgeted.Used() != 120 {
+		t.Errorf("calibration used %d (oracle %d), want 120", out.CalibrationCalls, budgeted.Used())
+	}
+	if out.Model == nil || len(out.Model.Weights) != 2 {
+		t.Errorf("model %+v", out.Model)
+	}
+	if len(out.Scores) != d.Len() {
+		t.Errorf("fused column length %d", len(out.Scores))
+	}
+	for i, s := range out.Scores {
+		if s <= 0 || s >= 1 {
+			t.Fatalf("fused score %v at %d outside (0,1)", s, i)
+		}
+	}
+}
+
 func TestFusionStrings(t *testing.T) {
 	if FuseMean.String() != "mean" || FuseMax.String() != "max" || FuseLogistic.String() != "logistic" {
 		t.Error("fusion strings")

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -30,6 +31,59 @@ func (t TargetType) String() string {
 	return fmt.Sprintf("TargetType(%d)", int(t))
 }
 
+// FusionKind names the strategy a FUSE clause uses to combine several
+// proxy-score columns into the one column the selection algorithms
+// consume. FusionNone is the classic single-proxy form.
+type FusionKind int
+
+const (
+	// FusionNone is the single-proxy form (no FUSE clause).
+	FusionNone FusionKind = iota
+	// FusionMean averages the member proxy columns (label-free).
+	FusionMean
+	// FusionMax takes the per-record maximum (label-free).
+	FusionMax
+	// FusionLogistic fits a logistic stacker on an oracle-labeled
+	// calibration sample and scores every record with it.
+	FusionLogistic
+)
+
+// String returns the lowercase strategy name used in the FUSE clause
+// ("none" for FusionNone, which never renders).
+func (f FusionKind) String() string {
+	switch f {
+	case FusionNone:
+		return "none"
+	case FusionMean:
+		return "mean"
+	case FusionMax:
+		return "max"
+	case FusionLogistic:
+		return "logistic"
+	}
+	return fmt.Sprintf("FusionKind(%d)", int(f))
+}
+
+// Calibrated reports whether the fusion needs oracle labels to fit.
+func (f FusionKind) Calibrated() bool { return f == FusionLogistic }
+
+// MinCalibration is the smallest CALIBRATE budget a logistic fusion
+// accepts — below this a stacker fit is statistically meaningless.
+const MinCalibration = 10
+
+// parseFusionKind resolves a FUSE strategy name (case-insensitive).
+func parseFusionKind(name string) (FusionKind, bool) {
+	switch strings.ToLower(name) {
+	case "mean":
+		return FusionMean, true
+	case "max":
+		return FusionMax, true
+	case "logistic":
+		return FusionLogistic, true
+	}
+	return FusionNone, false
+}
+
 // Predicate is a UDF invocation optionally compared against a literal:
 // HUMMINGBIRD_PRESENT(frame) = True, or DNN_CLASSIFIER(frame) = "hummingbird".
 type Predicate struct {
@@ -44,13 +98,19 @@ type Predicate struct {
 	HasCompare bool
 }
 
-// String renders the predicate in query syntax.
+// String renders the predicate in query syntax. A predicate without
+// arguments renders bare (no parentheses): the two forms parse
+// identically, and the bare form keeps a proxy UDF that happens to be
+// named "fuse" from rendering as "fuse()" — which the USING clause
+// would re-read as an (invalid) FUSE fusion clause.
 func (p Predicate) String() string {
 	var sb strings.Builder
 	sb.WriteString(p.Func)
-	sb.WriteByte('(')
-	sb.WriteString(strings.Join(p.Args, ", "))
-	sb.WriteByte(')')
+	if len(p.Args) > 0 {
+		sb.WriteByte('(')
+		sb.WriteString(strings.Join(p.Args, ", "))
+		sb.WriteByte(')')
+	}
 	if p.HasCompare {
 		fmt.Fprintf(&sb, " = %s", quoteIfNeeded(p.Compare))
 	}
@@ -63,8 +123,19 @@ type Query struct {
 	Table string
 	// Oracle is the WHERE predicate (the ground-truth filter).
 	Oracle Predicate
-	// Proxy is the USING expression (the proxy-score source).
-	Proxy Predicate
+	// Proxies are the USING score-source expressions: exactly one for
+	// the classic single-proxy form, one or more inside a FUSE clause.
+	Proxies []Predicate
+	// Fusion is the FUSE strategy combining Proxies (FusionNone for the
+	// single-proxy form). Parse normalizes a one-member label-free FUSE
+	// (mean/max of a single column is the column itself) to FusionNone,
+	// so the degenerate fused form is byte-identical to the classic one
+	// everywhere downstream — plan, random stream, and index cache.
+	Fusion FusionKind
+	// CalibrationBudget is the CALIBRATE clause: the number of oracle
+	// labels a logistic fusion may spend fitting its stacker. 0 lets the
+	// planner pick a default.
+	CalibrationBudget int
 	// Type selects RT / PT / JT semantics.
 	Type TargetType
 	// OracleLimit is the ORACLE LIMIT budget; 0 for JT queries.
@@ -98,7 +169,7 @@ func (q *Query) String() string {
 		}
 		sb.WriteByte('\n')
 	}
-	fmt.Fprintf(&sb, "USING %s\n", q.Proxy)
+	fmt.Fprintf(&sb, "USING %s\n", q.usingClause())
 	switch q.Type {
 	case RecallTargetQuery:
 		fmt.Fprintf(&sb, "RECALL TARGET %s\n", formatPercent(q.RecallTarget))
@@ -112,6 +183,33 @@ func (q *Query) String() string {
 	return sb.String()
 }
 
+// usingClause renders the USING score source canonically: the plain
+// predicate for single-proxy sources, FUSE(kind, p1, p2, ...) with an
+// optional CALIBRATE suffix otherwise. A one-member label-free FUSE
+// renders as the plain form (the fusion is the identity), matching the
+// normalization Parse applies, so String is a canonical form.
+func (q *Query) usingClause() string {
+	degenerate := len(q.Proxies) == 1 && !q.Fusion.Calibrated()
+	if q.Fusion == FusionNone || degenerate {
+		if len(q.Proxies) == 0 {
+			return ""
+		}
+		return q.Proxies[0].String()
+	}
+	var sb strings.Builder
+	sb.WriteString("FUSE(")
+	sb.WriteString(q.Fusion.String())
+	for _, p := range q.Proxies {
+		sb.WriteString(", ")
+		sb.WriteString(p.String())
+	}
+	sb.WriteByte(')')
+	if q.CalibrationBudget > 0 {
+		fmt.Fprintf(&sb, " CALIBRATE %d", q.CalibrationBudget)
+	}
+	return sb.String()
+}
+
 // Validate checks semantic constraints beyond the grammar.
 func (q *Query) Validate() error {
 	if q.Table == "" {
@@ -120,8 +218,24 @@ func (q *Query) Validate() error {
 	if q.Oracle.Func == "" {
 		return fmt.Errorf("query: missing WHERE oracle predicate")
 	}
-	if q.Proxy.Func == "" {
+	if len(q.Proxies) == 0 || q.Proxies[0].Func == "" {
 		return fmt.Errorf("query: missing USING proxy expression")
+	}
+	for i, p := range q.Proxies {
+		if p.Func == "" {
+			return fmt.Errorf("query: FUSE member %d has no proxy name", i)
+		}
+	}
+	if q.Fusion == FusionNone && len(q.Proxies) > 1 {
+		return fmt.Errorf("query: %d proxies require a FUSE clause", len(q.Proxies))
+	}
+	if q.CalibrationBudget != 0 {
+		if !q.Fusion.Calibrated() {
+			return fmt.Errorf("query: CALIBRATE applies only to logistic fusion, not %v", q.Fusion)
+		}
+		if q.CalibrationBudget < MinCalibration {
+			return fmt.Errorf("query: CALIBRATE %d below the minimum of %d labels", q.CalibrationBudget, MinCalibration)
+		}
 	}
 	if q.Probability <= 0 || q.Probability >= 1 {
 		return fmt.Errorf("query: WITH PROBABILITY %g outside (0, 1)", q.Probability)
@@ -164,22 +278,36 @@ func (q *Query) Validate() error {
 	return nil
 }
 
+// formatPercent renders a fraction as a percentage when the ×100 / ÷100
+// round trip is exact for the value, and as the bare fraction (which the
+// grammar reads back verbatim for values <= 1) when scaling would drift
+// — String must re-parse to the identical query for every parseable
+// value, not just pretty ones.
 func formatPercent(v float64) string {
-	return fmt.Sprintf("%g%%", v*100)
+	pct := strconv.FormatFloat(v*100, 'g', -1, 64)
+	if r, err := strconv.ParseFloat(pct, 64); err == nil && r/100 == v {
+		return pct + "%"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// quoteIfNeeded renders a comparison literal so it re-lexes to the same
+// value: bare when it already lexes as a single identifier or number
+// token with identical text, quoted otherwise with a quote kind the
+// value does not contain. (A parsed literal can never contain both
+// quote kinds — it had to lack its own delimiter — so a representable
+// quoting always exists for parser-produced values.)
 func quoteIfNeeded(s string) string {
 	switch strings.ToLower(s) {
 	case "true", "false":
 		return s
 	}
-	for _, r := range s {
-		if !isIdentPart(r) {
-			return "\"" + s + "\""
-		}
-	}
-	if len(s) > 0 && isDigit(s[0]) {
+	if toks, err := lexAll(s); err == nil && len(toks) == 2 &&
+		(toks[0].kind == tokIdent || toks[0].kind == tokNumber) && toks[0].text == s {
 		return s
 	}
-	return "\"" + s + "\""
+	if !strings.Contains(s, `"`) {
+		return `"` + s + `"`
+	}
+	return "'" + s + "'"
 }

@@ -1,0 +1,47 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse asserts the parser's two fuzz invariants on arbitrary
+// input: it never panics, and every accepted query round-trips through
+// its canonical rendering — Parse(q.String()) succeeds, produces the
+// same AST, and renders to the same text (String is a fixed point).
+// The committed corpus under testdata/fuzz/FuzzParse covers every
+// clause of the grammar, including ORACLE LIMIT ... REUSE FREE and the
+// multi-proxy FUSE(...) [CALIBRATE n] score sources.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		rtQuery,
+		fuseQuery,
+		`SELECT * FROM docs WHERE rel(d) ORACLE LIMIT 500 USING bert(d) PRECISION TARGET 80% WITH PROBABILITY 99%`,
+		`SELECT * FROM t WHERE o(x) USING p(x) RECALL TARGET 90% PRECISION TARGET 80% WITH PROBABILITY 95%`,
+		`SELECT * FROM v WHERE o(x) = true ORACLE LIMIT 500 REUSE FREE USING p(x) RECALL TARGET 90% WITH PROBABILITY 95%`,
+		`SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING FUSE(mean, p1(x), p2(x), p3(x)) RECALL TARGET 90% WITH PROBABILITY 95%`,
+		`SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING FUSE(max, p(x)) RECALL TARGET 90% WITH PROBABILITY 95%`,
+		`SELECT * FROM t WHERE o(x) USING FUSE(logistic, a(x), b(x)) CALIBRATE 50 RECALL TARGET 90% PRECISION TARGET 80% WITH PROBABILITY 95%`,
+		`select * from t where is_match oracle limit 10 using score recall target 0.07 with probability 0.5`,
+		`SELECT * FROM t WHERE f(x) = "multi word" ORACLE LIMIT 10 USING p(x) = 'single' RECALL TARGET 95 WITH PROBABILITY 95%`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		text := q.String()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("canonical text failed to re-parse: %v\ninput:    %q\ncanonical: %q", err, src, text)
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatalf("re-parse changed the AST:\ninput: %q\nfirst:  %#v\nsecond: %#v", src, q, q2)
+		}
+		if text2 := q2.String(); text2 != text {
+			t.Fatalf("String is not a fixed point:\nfirst:  %q\nsecond: %q", text, text2)
+		}
+	})
+}

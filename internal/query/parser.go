@@ -119,8 +119,7 @@ func (p *parser) parseQuery() (*Query, error) {
 	if err := p.expectKeyword("using"); err != nil {
 		return nil, err
 	}
-	q.Proxy, err = p.parsePredicate()
-	if err != nil {
+	if err := p.parseScoreSource(q); err != nil {
 		return nil, err
 	}
 
@@ -180,6 +179,68 @@ func (p *parser) parseQuery() (*Query, error) {
 		return nil, &Error{Pos: t.pos, Message: fmt.Sprintf("unexpected trailing input starting at %q", t.text)}
 	}
 	return q, nil
+}
+
+// parseScoreSource parses the USING clause body: either a single proxy
+// predicate, or FUSE(strategy, p1(...), p2(...), ...) [CALIBRATE n].
+// FUSE followed by '(' is reserved in this position; a proxy UDF named
+// FUSE can still appear without parentheses (and anywhere else in the
+// query). A one-member mean/max FUSE is normalized to the plain
+// single-proxy form — the fusion is the identity, and normalizing here
+// keeps the degenerate source byte-identical to the classic form in the
+// plan, the per-query random stream, and the engine's index cache.
+func (p *parser) parseScoreSource(q *Query) error {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, "fuse") && p.toks[p.pos+1].kind == tokLParen {
+		p.advance() // FUSE
+		p.advance() // (
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		kind, ok := parseFusionKind(name.text)
+		if !ok {
+			return &Error{Pos: name.pos, Message: fmt.Sprintf("unknown fusion strategy %q (want mean, max, or logistic)", name.text)}
+		}
+		q.Fusion = kind
+		for {
+			if _, err := p.expect(tokComma); err != nil {
+				if len(q.Proxies) > 0 && p.peek().kind == tokRParen {
+					break
+				}
+				return err
+			}
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return err
+			}
+			q.Proxies = append(q.Proxies, pred)
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return err
+		}
+		if p.keyword("calibrate") {
+			num, err := p.expect(tokNumber)
+			if err != nil {
+				return err
+			}
+			calib, err := strconv.ParseFloat(num.text, 64)
+			if err != nil || calib != float64(int(calib)) || calib <= 0 {
+				return &Error{Pos: num.pos, Message: fmt.Sprintf("CALIBRATE must be a positive integer, got %q", num.text)}
+			}
+			q.CalibrationBudget = int(calib)
+		}
+		if len(q.Proxies) == 1 && !q.Fusion.Calibrated() {
+			q.Fusion = FusionNone
+		}
+		return nil
+	}
+	pred, err := p.parsePredicate()
+	if err != nil {
+		return err
+	}
+	q.Proxies = []Predicate{pred}
+	return nil
 }
 
 // parsePredicate parses FUNC(arg, ...) [= literal].

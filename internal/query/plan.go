@@ -2,17 +2,70 @@ package query
 
 import (
 	"fmt"
+	"strings"
 
 	"supg/internal/core"
+	"supg/internal/multiproxy"
 )
+
+// ScoreSource is the physical descriptor of a plan's proxy-score
+// column: which proxy UDFs feed it and how they are fused. It is the
+// one concept every layer below the parser speaks — the planner emits
+// it, the engine keys its index cache on it, and the fused column it
+// describes is what the selection algorithms consume. The single-proxy
+// form is the degenerate one-member source with FusionNone.
+type ScoreSource struct {
+	// Proxies are the member proxy UDF names, in query order.
+	Proxies []string
+	// Fusion is how the members combine (FusionNone = single proxy).
+	Fusion FusionKind
+	// CalibrationBudget is the oracle-label budget for fitting a
+	// calibrated (logistic) fusion. The planner resolves it to a
+	// concrete positive value, so equal descriptors mean equal fused
+	// columns. Zero for label-free sources.
+	CalibrationBudget int
+}
+
+// Single reports whether the source is the classic one-proxy form.
+func (s ScoreSource) Single() bool { return s.Fusion == FusionNone }
+
+// Primary returns the first member proxy UDF name ("" when empty).
+func (s ScoreSource) Primary() string {
+	if len(s.Proxies) == 0 {
+		return ""
+	}
+	return s.Proxies[0]
+}
+
+// CacheKey returns the canonical identity of the source for index
+// caching. A single-proxy source is identified by its proxy name alone
+// (byte-compatible with the historical per-proxy cache), a label-free
+// fusion by strategy plus member list, and a calibrated fusion
+// additionally by its calibration budget and the oracle UDF whose
+// labels fit it — two queries share a fused index exactly when every
+// input that shapes the fused column is identical.
+func (s ScoreSource) CacheKey(oracleUDF string) string {
+	if s.Single() {
+		return s.Primary()
+	}
+	key := "fuse:" + s.Fusion.String() + ":" + strings.Join(s.Proxies, ",")
+	if s.Fusion.Calibrated() {
+		key += fmt.Sprintf(":calib=%d:oracle=%s", s.CalibrationBudget, oracleUDF)
+	}
+	return key
+}
 
 // Plan is the physical plan for a parsed query: the core algorithm
 // specification plus the names the engine must resolve against its
 // catalog and UDF registry.
 type Plan struct {
-	Table      string
-	OracleUDF  string
-	ProxyUDF   string
+	Table     string
+	OracleUDF string
+	// Source describes the proxy-score column the plan selects over —
+	// one proxy UDF, or several fused. It replaces the historical bare
+	// ProxyUDF string; single-proxy plans carry the degenerate
+	// one-member source and are byte-identical to pre-fusion plans.
+	Source     ScoreSource
 	Kind       PlanKind
 	Spec       core.Spec      // for RT/PT plans
 	JointSpec  core.JointSpec // for JT plans
@@ -44,6 +97,35 @@ type PlanOptions struct {
 	JointStageBudget int
 }
 
+// defaultJointCalibration is the logistic calibration budget for
+// joint-target queries, which carry no ORACLE LIMIT to derive one from.
+const defaultJointCalibration = 200
+
+// resolveCalibration pins the logistic calibration budget the plan
+// will carry. An explicit CALIBRATE wins; otherwise budgeted queries
+// use multiproxy.DefaultCalibration of the oracle limit (one formula
+// shared with the library path), and joint queries (unbounded oracle)
+// use defaultJointCalibration. Calibration spend is charged to index
+// construction, not to the query's ORACLE LIMIT — it is amortized
+// across every query that shares the fused index (see the engine
+// docs).
+func resolveCalibration(q *Query) (int, error) {
+	if !q.Fusion.Calibrated() {
+		return 0, nil
+	}
+	if q.CalibrationBudget > 0 {
+		return q.CalibrationBudget, nil
+	}
+	if q.Type == JointTargetQuery {
+		return defaultJointCalibration, nil
+	}
+	calib := multiproxy.DefaultCalibration(q.OracleLimit)
+	if calib < MinCalibration {
+		return 0, fmt.Errorf("query: ORACLE LIMIT %d is too small to calibrate a logistic fusion (needs >= %d); raise the limit or set CALIBRATE explicitly", q.OracleLimit, 2*MinCalibration)
+	}
+	return calib, nil
+}
+
 // BuildPlan lowers a validated query onto the core algorithms.
 func BuildPlan(q *Query, opts PlanOptions) (*Plan, error) {
 	if err := q.Validate(); err != nil {
@@ -53,10 +135,28 @@ func BuildPlan(q *Query, opts PlanOptions) (*Plan, error) {
 	if opts.Config != nil {
 		cfg = *opts.Config
 	}
+	calib, err := resolveCalibration(q)
+	if err != nil {
+		return nil, err
+	}
+	src := ScoreSource{
+		Proxies:           make([]string, len(q.Proxies)),
+		Fusion:            q.Fusion,
+		CalibrationBudget: calib,
+	}
+	for i, p := range q.Proxies {
+		src.Proxies[i] = p.Func
+	}
+	// Normalize the degenerate one-member label-free fusion (the parser
+	// already does for parsed queries; programmatic ASTs get the same
+	// guarantee here).
+	if len(src.Proxies) == 1 && !src.Fusion.Calibrated() {
+		src.Fusion = FusionNone
+	}
 	p := &Plan{
 		Table:      q.Table,
 		OracleUDF:  q.Oracle.Func,
-		ProxyUDF:   q.Proxy.Func,
+		Source:     src,
 		Config:     cfg,
 		SourceText: q.String(),
 		FreeReuse:  q.FreeReuse,

@@ -87,8 +87,11 @@ func TestParseRecallTarget(t *testing.T) {
 	if q.Oracle.Func != "HUMMINGBIRD_PRESENT" || q.Oracle.Args[0] != "frame" || q.Oracle.Compare != "True" {
 		t.Errorf("oracle predicate %+v", q.Oracle)
 	}
-	if q.Proxy.Func != "DNN_CLASSIFIER" || q.Proxy.Compare != "hummingbird" {
-		t.Errorf("proxy predicate %+v", q.Proxy)
+	if len(q.Proxies) != 1 || q.Proxies[0].Func != "DNN_CLASSIFIER" || q.Proxies[0].Compare != "hummingbird" {
+		t.Errorf("proxy predicates %+v", q.Proxies)
+	}
+	if q.Fusion != FusionNone {
+		t.Errorf("single-proxy query parsed with fusion %v", q.Fusion)
 	}
 	if q.OracleLimit != 10000 {
 		t.Errorf("limit %d", q.OracleLimit)
@@ -256,8 +259,11 @@ func TestBuildPlanRT(t *testing.T) {
 	if p.Config.Method != core.MethodISCI {
 		t.Errorf("default config should be SUPG, got %v", p.Config.Method)
 	}
-	if p.OracleUDF != "HUMMINGBIRD_PRESENT" || p.ProxyUDF != "DNN_CLASSIFIER" {
-		t.Errorf("UDFs %q %q", p.OracleUDF, p.ProxyUDF)
+	if p.OracleUDF != "HUMMINGBIRD_PRESENT" || p.Source.Primary() != "DNN_CLASSIFIER" {
+		t.Errorf("UDFs %q %q", p.OracleUDF, p.Source.Primary())
+	}
+	if !p.Source.Single() || p.Source.CacheKey("x") != "DNN_CLASSIFIER" {
+		t.Errorf("single-proxy source %+v should cache under the bare proxy name", p.Source)
 	}
 }
 
@@ -368,7 +374,7 @@ func TestParseReuseFreeErrors(t *testing.T) {
 	q := &Query{
 		Table:           "v",
 		Oracle:          Predicate{Func: "o"},
-		Proxy:           Predicate{Func: "p"},
+		Proxies:         []Predicate{{Func: "p"}},
 		Type:            JointTargetQuery,
 		RecallTarget:    0.9,
 		PrecisionTarget: 0.9,
@@ -377,6 +383,222 @@ func TestParseReuseFreeErrors(t *testing.T) {
 	}
 	if err := q.Validate(); err == nil {
 		t.Error("joint-target query with FreeReuse validated")
+	}
+}
+
+const fuseQuery = `
+SELECT * FROM video
+WHERE truth(frame) = true
+ORACLE LIMIT 1000
+USING FUSE(logistic, fast(frame), slow(frame)) CALIBRATE 200
+RECALL TARGET 90%
+WITH PROBABILITY 95%`
+
+func TestParseFuseLogistic(t *testing.T) {
+	q, err := Parse(fuseQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Fusion != FusionLogistic {
+		t.Errorf("fusion %v", q.Fusion)
+	}
+	if len(q.Proxies) != 2 || q.Proxies[0].Func != "fast" || q.Proxies[1].Func != "slow" {
+		t.Errorf("proxies %+v", q.Proxies)
+	}
+	if q.CalibrationBudget != 200 {
+		t.Errorf("calibration %d", q.CalibrationBudget)
+	}
+	// Canonical rendering round-trips.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", q.String(), err)
+	}
+	if q.String() != q2.String() {
+		t.Fatalf("roundtrip mismatch:\n%s\nvs\n%s", q, q2)
+	}
+	if !strings.Contains(q.String(), "FUSE(logistic, fast(frame), slow(frame)) CALIBRATE 200") {
+		t.Errorf("String() = %q", q.String())
+	}
+}
+
+func TestParseFuseMeanAndMax(t *testing.T) {
+	for _, kind := range []string{"mean", "MAX"} {
+		q, err := Parse(`SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING FUSE(` + kind +
+			`, p1(x), p2(x), p3(x)) RECALL TARGET 90% WITH PROBABILITY 95%`)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(q.Proxies) != 3 {
+			t.Errorf("%s: proxies %+v", kind, q.Proxies)
+		}
+		if q.Fusion != FusionMean && q.Fusion != FusionMax {
+			t.Errorf("%s: fusion %v", kind, q.Fusion)
+		}
+		if q.CalibrationBudget != 0 {
+			t.Errorf("%s: calibration %d", kind, q.CalibrationBudget)
+		}
+	}
+}
+
+func TestParseFuseSingleMemberNormalizes(t *testing.T) {
+	// mean/max of one column is the column: the parser folds the
+	// degenerate form to the classic single-proxy query, so plans,
+	// random streams, and index cache keys are byte-identical.
+	legacy, err := Parse(`SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING p(x) RECALL TARGET 90% WITH PROBABILITY 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"mean", "max"} {
+		q, err := Parse(`SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING FUSE(` + kind +
+			`, p(x)) RECALL TARGET 90% WITH PROBABILITY 95%`)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if q.Fusion != FusionNone {
+			t.Errorf("%s: fusion %v not normalized", kind, q.Fusion)
+		}
+		if q.String() != legacy.String() {
+			t.Errorf("%s: canonical text %q != legacy %q", kind, q.String(), legacy.String())
+		}
+	}
+	// Logistic is NOT the identity on one column (the stacker recalibrates
+	// it), so the single-member form survives.
+	q, err := Parse(`SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING FUSE(logistic, p(x)) RECALL TARGET 90% WITH PROBABILITY 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Fusion != FusionLogistic || len(q.Proxies) != 1 {
+		t.Errorf("single-member logistic parsed as %+v", q)
+	}
+}
+
+func TestParseFuseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown strategy", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING FUSE(median, p1(x), p2(x)) RECALL TARGET 90% WITH PROBABILITY 95%`},
+		{"no members", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING FUSE(mean) RECALL TARGET 90% WITH PROBABILITY 95%`},
+		{"unclosed", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING FUSE(mean, p1(x) RECALL TARGET 90% WITH PROBABILITY 95%`},
+		{"calibrate on mean", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING FUSE(mean, p1(x), p2(x)) CALIBRATE 50 RECALL TARGET 90% WITH PROBABILITY 95%`},
+		{"calibrate zero", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING FUSE(logistic, p1(x), p2(x)) CALIBRATE 0 RECALL TARGET 90% WITH PROBABILITY 95%`},
+		{"calibrate fractional", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING FUSE(logistic, p1(x), p2(x)) CALIBRATE 12.5 RECALL TARGET 90% WITH PROBABILITY 95%`},
+		{"calibrate below minimum", `SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING FUSE(logistic, p1(x), p2(x)) CALIBRATE 5 RECALL TARGET 90% WITH PROBABILITY 95%`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// A proxy UDF named fuse still works without parentheses.
+	q, err := Parse(`SELECT * FROM t WHERE o(x) ORACLE LIMIT 100 USING fuse RECALL TARGET 90% WITH PROBABILITY 95%`)
+	if err != nil {
+		t.Fatalf("bare fuse proxy: %v", err)
+	}
+	if q.Proxies[0].Func != "fuse" {
+		t.Errorf("bare fuse parsed as %+v", q.Proxies)
+	}
+}
+
+func TestBuildPlanFused(t *testing.T) {
+	q, err := Parse(fuseQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPlan(q, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := p.Source
+	if src.Single() || src.Fusion != FusionLogistic || src.CalibrationBudget != 200 {
+		t.Errorf("source %+v", src)
+	}
+	if len(src.Proxies) != 2 || src.Primary() != "fast" {
+		t.Errorf("source proxies %+v", src.Proxies)
+	}
+	key := src.CacheKey("truth")
+	if key != "fuse:logistic:fast,slow:calib=200:oracle=truth" {
+		t.Errorf("cache key %q", key)
+	}
+}
+
+func TestBuildPlanCalibrationDefaults(t *testing.T) {
+	parse := func(src string) *Query {
+		t.Helper()
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	// Budgeted: a fifth of the limit, clamped to [30, limit/2].
+	q := parse(`SELECT * FROM t WHERE o(x) ORACLE LIMIT 1000 USING FUSE(logistic, p1(x), p2(x)) RECALL TARGET 90% WITH PROBABILITY 95%`)
+	p, err := BuildPlan(q, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source.CalibrationBudget != 200 {
+		t.Errorf("default calibration %d, want 200", p.Source.CalibrationBudget)
+	}
+	q = parse(`SELECT * FROM t WHERE o(x) ORACLE LIMIT 40 USING FUSE(logistic, p1(x), p2(x)) RECALL TARGET 90% WITH PROBABILITY 95%`)
+	if p, err = BuildPlan(q, PlanOptions{}); err != nil {
+		t.Fatal(err)
+	} else if p.Source.CalibrationBudget != 20 {
+		t.Errorf("clamped calibration %d, want 20 (half of 40)", p.Source.CalibrationBudget)
+	}
+	// Too small to calibrate at all.
+	q = parse(`SELECT * FROM t WHERE o(x) ORACLE LIMIT 15 USING FUSE(logistic, p1(x), p2(x)) RECALL TARGET 90% WITH PROBABILITY 95%`)
+	if _, err = BuildPlan(q, PlanOptions{}); err == nil {
+		t.Error("tiny ORACLE LIMIT with logistic fusion should fail planning")
+	}
+	// Joint queries have no limit; a fixed default applies.
+	q = parse(`SELECT * FROM t WHERE o(x) USING FUSE(logistic, p1(x), p2(x)) RECALL TARGET 90% PRECISION TARGET 80% WITH PROBABILITY 95%`)
+	if p, err = BuildPlan(q, PlanOptions{}); err != nil {
+		t.Fatal(err)
+	} else if p.Source.CalibrationBudget != 200 {
+		t.Errorf("joint default calibration %d, want 200", p.Source.CalibrationBudget)
+	}
+}
+
+func TestValidateFusionShapes(t *testing.T) {
+	base := Query{
+		Table:        "t",
+		Oracle:       Predicate{Func: "o"},
+		Type:         RecallTargetQuery,
+		OracleLimit:  100,
+		RecallTarget: 0.9,
+		Probability:  0.95,
+	}
+	// Two proxies without a FUSE clause.
+	q := base
+	q.Proxies = []Predicate{{Func: "a"}, {Func: "b"}}
+	if err := q.Validate(); err == nil {
+		t.Error("multi-proxy without FUSE validated")
+	}
+	// Empty member name.
+	q = base
+	q.Proxies = []Predicate{{Func: "a"}, {}}
+	q.Fusion = FusionMean
+	if err := q.Validate(); err == nil {
+		t.Error("empty FUSE member validated")
+	}
+	// Calibration on a label-free fusion.
+	q = base
+	q.Proxies = []Predicate{{Func: "a"}, {Func: "b"}}
+	q.Fusion = FusionMax
+	q.CalibrationBudget = 50
+	if err := q.Validate(); err == nil {
+		t.Error("CALIBRATE on max fusion validated")
+	}
+}
+
+func TestFusionKindStrings(t *testing.T) {
+	if FusionNone.String() != "none" || FusionMean.String() != "mean" ||
+		FusionMax.String() != "max" || FusionLogistic.String() != "logistic" {
+		t.Error("fusion kind strings")
+	}
+	if FusionKind(99).String() == "" {
+		t.Error("unknown fusion kind string empty")
+	}
+	if !FusionLogistic.Calibrated() || FusionMean.Calibrated() {
+		t.Error("Calibrated misreports")
 	}
 }
 

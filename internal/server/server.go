@@ -179,6 +179,15 @@ func (s *Server) RegisterDataset(name string, d *dataset.Dataset) {
 	s.datasets[name] = d
 }
 
+// RegisterProxy adds an extra proxy UDF to the underlying engine so
+// multi-proxy FUSE queries can combine it with dataset-default proxies
+// — used by cmd/supg-server's preload proxy variants and by tests. The
+// UDF must be goroutine-safe and defined for every record id of the
+// tables it is queried against.
+func (s *Server) RegisterProxy(name string, fn func(record int) float64) {
+	s.engine.RegisterProxy(name, fn)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
@@ -329,8 +338,19 @@ type QueryResponse struct {
 	// LabelCacheHits counts labels served from the cross-query label
 	// store instead of the oracle UDF (included in oracle_calls unless
 	// the query ran with free reuse).
-	LabelCacheHits int     `json:"label_cache_hits"`
-	ElapsedMS      float64 `json:"elapsed_ms"`
+	LabelCacheHits int `json:"label_cache_hits"`
+	// Fusion names the score source's fusion strategy when the query
+	// used a multi-proxy FUSE source ("mean", "max", "logistic");
+	// omitted for classic single-proxy queries.
+	Fusion string `json:"fusion,omitempty"`
+	// CalibrationCalls counts oracle calls spent calibrating the fused
+	// index when this query built it (charged to index construction,
+	// not to the query's ORACLE LIMIT; 0 on warm cache hits).
+	CalibrationCalls int `json:"calibration_calls,omitempty"`
+	// CalibrationCacheHits counts the calibration labels served by the
+	// cross-query label store instead of the oracle UDF.
+	CalibrationCacheHits int     `json:"calibration_cache_hits,omitempty"`
+	ElapsedMS            float64 `json:"elapsed_ms"`
 	// Achieved metrics are computable here because uploaded datasets
 	// carry ground-truth labels (this is a simulation service).
 	AchievedPrecision float64 `json:"achieved_precision"`
@@ -401,11 +421,14 @@ func writeBodyTooLarge(w http.ResponseWriter, limit int64) {
 // (computable because uploaded datasets carry ground truth).
 func (s *Server) buildQueryResponse(req QueryRequest, res *engine.QueryResult) QueryResponse {
 	resp := QueryResponse{
-		Returned:       len(res.Indices),
-		OracleCalls:    res.OracleCalls,
-		ProxyCalls:     res.ProxyCalls,
-		LabelCacheHits: res.LabelCacheHits,
-		ElapsedMS:      float64(res.Elapsed.Microseconds()) / 1000,
+		Returned:             len(res.Indices),
+		OracleCalls:          res.OracleCalls,
+		ProxyCalls:           res.ProxyCalls,
+		LabelCacheHits:       res.LabelCacheHits,
+		Fusion:               res.Fusion,
+		CalibrationCalls:     res.CalibrationCalls,
+		CalibrationCacheHits: res.CalibrationCacheHits,
+		ElapsedMS:            float64(res.Elapsed.Microseconds()) / 1000,
 	}
 	if !math.IsInf(res.Tau, 0) {
 		tau := res.Tau

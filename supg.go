@@ -68,14 +68,24 @@ type Result struct {
 type Option func(*runConfig)
 
 type runConfig struct {
-	cfg  core.Config
-	seed uint64
+	cfg   core.Config
+	seed  uint64
+	calib int
 }
 
 // WithSeed fixes the random seed; runs with equal seeds and inputs are
 // deterministic. The default seed is 1.
 func WithSeed(seed uint64) Option {
 	return func(rc *runConfig) { rc.seed = seed }
+}
+
+// WithCalibrationBudget caps the oracle labels RunMulti's logistic
+// fusion spends fitting its stacker (default: 20% of the query budget,
+// at least 30 calls, at most half). Calibration shares the query's
+// oracle budget, so raising it trades threshold-estimation sample size
+// for stacker quality. Label-free fusions ignore it.
+func WithCalibrationBudget(labels int) Option {
+	return func(rc *runConfig) { rc.calib = labels }
 }
 
 // Method selects between the paper's algorithm families.
