@@ -4,7 +4,7 @@ GO ?= go
 # drops below it. Raise it when coverage durably improves.
 COVER_FLOOR ?= 79.1
 
-.PHONY: all build test test-race vet fmt-check bench bench-labelstore bench-multiproxy cover cover-check fuzz-smoke
+.PHONY: all build test test-race vet fmt-check bench bench-labelstore bench-multiproxy cover cover-check fuzz-smoke chaos-smoke
 
 all: build vet test
 
@@ -47,6 +47,17 @@ fuzz-smoke:
 	$(GO) test ./internal/dataset -run '^$$' -fuzz '^FuzzLoadCSV$$' -fuzztime 10s
 	$(GO) test ./internal/dataset -run '^$$' -fuzz '^FuzzLoadBinary$$' -fuzztime 10s
 	$(GO) test ./internal/query -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s
+
+# Fault-injection battery + crash durability: chaos equivalence
+# (byte-identical Indices/Tau/oracle_calls under 30% injected
+# transient oracle failures), retry/backoff/breaker determinism, WAL
+# torn-tail/tombstone/compaction replay, and the kill-and-restart
+# recovery tests (a restarted server re-buys zero labels).
+chaos-smoke:
+	$(GO) test ./internal/oracle -run 'Chaos|Breaker|Resilient' -count=1
+	$(GO) test ./internal/labelstore -run 'WAL' -count=1
+	$(GO) test ./internal/engine -run 'Chaos|KillRestart|RestartThenReRegistration|BreakerFailFast' -count=1
+	$(GO) test ./internal/server -run 'KillRestartWALRecovery|OracleUnavailable|JobFailureCarriesDiagnostic' -count=1
 
 bench:
 	$(GO) test ./internal/engine -bench SelectHotPath -benchmem -run '^$$'

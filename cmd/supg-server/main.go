@@ -8,7 +8,9 @@
 //
 // API:
 //
-//	GET    /healthz
+//	GET    /healthz               liveness (always 200 while the process serves)
+//	GET    /readyz                readiness: 503 while any oracle circuit
+//	                              breaker is open
 //	GET    /v1/datasets
 //	PUT    /v1/datasets/{name}    body: CSV (id,proxy_score,label) or
 //	                              binary with Content-Type: application/octet-stream
@@ -74,12 +76,18 @@ func main() {
 		buildPar    = flag.Int("index-build-parallelism", 0, "concurrent segment builds per index (0 = GOMAXPROCS)")
 		labelBytes  = flag.Int64("label-cache-bytes", 0, "cross-query oracle label cache budget in bytes (0 = default 64 MiB; negative disables label reuse)")
 		labelShards = flag.Int("label-cache-shards", 0, "label cache shards per (table, oracle) pair (0 = default 16)")
+		labelWAL    = flag.String("label-wal", "", "path of the label store write-ahead log; bought labels are journaled and replayed on restart, so the server re-buys zero labels (empty = not durable)")
+		walSync     = flag.Int("label-wal-sync-every", 1, "fsync the label WAL every N records (1 = every record)")
+		oracleTO    = flag.Duration("oracle-timeout", 0, "per-attempt oracle UDF timeout; timed-out attempts are retried as transient failures (0 = unbounded)")
+		oracleRetry = flag.Int("oracle-retries", 0, "retries per oracle call after a transient failure (0 = fail on first error); retries never change query results")
+		brkThresh   = flag.Int("breaker-threshold", 0, "consecutive failed oracle calls that trip the circuit breaker open (0 = default 5)")
+		brkCooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker fails fast before probing the backend again (0 = default 1s); also the Retry-After hint on 503s")
 		grace       = flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight jobs on shutdown")
 		variants    = flag.Bool("preload-proxy-variants", false, "register <preload>_proxy_soft (sqrt) and <preload>_proxy_sharp (squared) proxy variants so FUSE queries are demoable out of the box")
 	)
 	flag.Parse()
 
-	srv := server.NewWithOptions(*seed, server.Options{
+	srv, err := server.Open(*seed, server.Options{
 		Workers:               *workers,
 		OracleParallelism:     *parallelism,
 		MaxBodyBytes:          *maxBody,
@@ -89,7 +97,20 @@ func main() {
 		IndexBuildParallelism: *buildPar,
 		LabelCacheBytes:       *labelBytes,
 		LabelCacheShards:      *labelShards,
+		LabelWALPath:          *labelWAL,
+		LabelWALSyncEvery:     *walSync,
+		OracleTimeout:         *oracleTO,
+		OracleRetries:         *oracleRetry,
+		BreakerThreshold:      *brkThresh,
+		BreakerCooldown:       *brkCooldown,
 	})
+	if err != nil {
+		log.Fatalf("supg-server: %v", err)
+	}
+	if *labelWAL != "" {
+		st := srv.Engine().LabelStore().Stats()
+		fmt.Printf("label WAL %s: replayed %d labels (%d records)\n", *labelWAL, st.WALReplayed, st.WALRecords)
+	}
 	if *preload != "" {
 		r := randx.New(*seed)
 		var d *dataset.Dataset
@@ -119,9 +140,14 @@ func main() {
 	}
 
 	httpServer := &http.Server{
-		Addr:              *addr,
-		Handler:           srv,
+		Addr:    *addr,
+		Handler: srv,
+		// Hardening against slow or stuck clients: bound the header read
+		// (slowloris), the full response write (queries can run minutes —
+		// the window is generous but finite), and idle keep-alives.
 		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

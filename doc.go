@@ -194,4 +194,31 @@
 // the query's own budget (WithCalibrationBudget overrides the
 // default). See README.md ("Multi-proxy queries") and
 // examples/multiproxy.
+//
+// # Fault tolerance and durability
+//
+// Oracle backends flake, stall, and crash; the resilience layer
+// absorbs all three without changing query results. Failures are
+// classified (internal/oracle): transient errors retry under capped
+// exponential backoff with a per-attempt timeout, permanent errors and
+// context cancellation fail immediately, and consecutive final
+// failures trip a per-UDF circuit breaker (closed -> open -> half-open
+// probe). Backoff jitter is a pure function of (seed, record index,
+// attempt), so retries are deterministic at any dispatch parallelism:
+// a run with injected transient failures is byte-identical in
+// Indices/Tau/OracleCalls to a fault-free run (pinned by the chaos
+// battery against oracle.Chaos, a seeded fault-injection wrapper).
+// When retries exhaust or the breaker is open, the error unwraps to
+// oracle.ErrOracleUnavailable carrying the labels folded before the
+// failure; supg-server maps it to 503 with a Retry-After hint and
+// flips GET /readyz to 503 while the breaker is open.
+//
+// The label store optionally journals every bought label to a
+// CRC-framed, fsync'd write-ahead log (-label-wal) and replays it on
+// boot, truncating any torn tail — a restarted server re-buys zero
+// labels. Invalidations append tombstones, and a compaction pass
+// (automatic on boot when the log is mostly dead) rewrites live
+// labels into a fresh log via atomic rename. See README.md ("Fault
+// tolerance & durability") for the frame format and the recovery
+// procedure.
 package supg

@@ -108,6 +108,9 @@ func SelectJointFromContextOptions(ctx context.Context, r *randx.Rand, src Score
 	tr, err := EstimateTauFrom(r, src, stageBudgeted, rtSpec, cfg)
 	if err != nil {
 		if err != ErrNoPositives {
+			// Surface the labels-folded-so-far diagnostic on oracle
+			// unavailability (see SelectFromContextOptions).
+			oracle.NoteLabelsFolded(err, budgeted.Used())
 			return JointResult{}, err
 		}
 		tr.Tau = selectAllTau // recall-safe fallback: verify everything
@@ -117,7 +120,9 @@ func SelectJointFromContextOptions(ctx context.Context, r *randx.Rand, src Score
 	// Stage 3: verify every candidate record; keep true positives.
 	labs, err := budgeted.LabelAll(candidate.Indices)
 	if err != nil {
-		return JointResult{}, fmt.Errorf("core: joint filter stage: %w", err)
+		err = fmt.Errorf("core: joint filter stage: %w", err)
+		oracle.NoteLabelsFolded(err, budgeted.Used())
+		return JointResult{}, err
 	}
 	var final []int
 	for pos, i := range candidate.Indices {

@@ -119,6 +119,11 @@ func SelectFromContextOptions(ctx context.Context, r *randx.Rand, src ScoreSourc
 		WithStore(sopts.Store, sopts.FreeReuse).WithChargeHook(sopts.OnCachedCharge)
 	tr, err := EstimateTauFrom(r, src, budgeted, spec, cfg)
 	if err != nil && !errors.Is(err, ErrNoPositives) {
+		// An unavailable oracle surfaces with the labels-folded-so-far
+		// count: the budget units already consumed are durable (memoized,
+		// and persisted when a label store is attached), so a retry of the
+		// query resumes warm rather than from zero.
+		oracle.NoteLabelsFolded(err, budgeted.Used())
 		return Result{}, err
 	}
 	if errors.Is(err, ErrNoPositives) && spec.Kind == PrecisionTarget {

@@ -141,6 +141,47 @@ type Options struct {
 	// LabelCacheShards is the label store's shard count per (table,
 	// oracle) pair (<= 0 selects labelstore.DefaultShards).
 	LabelCacheShards int
+	// LabelWALPath, when non-empty, makes the label store crash-durable:
+	// bought labels are journaled to a write-ahead log at this path and
+	// replayed on Open, so a restarted process re-buys zero labels. See
+	// labelstore.Options.WALPath. Ignored when the label store is
+	// disabled.
+	LabelWALPath string
+	// LabelWALSyncEvery is the WAL fsync cadence (0 or 1 = every record).
+	LabelWALSyncEvery int
+	// OracleTimeout bounds one oracle UDF attempt's wall-clock time
+	// (0 = unbounded). A timed-out attempt counts as a transient failure
+	// and is retried; the oracle UDF must be goroutine-safe when a
+	// timeout is set.
+	OracleTimeout time.Duration
+	// OracleRetries is how many times a transient oracle failure is
+	// re-attempted after the first try (0 = fail on first error).
+	// Retries never change results: labels are a pure function of the
+	// record index, so an eventually-successful call yields exactly the
+	// fault-free label and the budget wrapper never sees the failed
+	// attempts.
+	OracleRetries int
+	// OracleBackoff is the base delay before the first retry, doubling
+	// per further retry with deterministic jitter (0 = 10ms). Tests use
+	// tiny values to keep chaos batteries fast.
+	OracleBackoff time.Duration
+	// BreakerThreshold is the number of consecutive finally-failed
+	// oracle calls (retries exhausted) that trips the per-oracle circuit
+	// breaker open (0 = 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// half-opening for a probe (0 = 1s).
+	BreakerCooldown time.Duration
+	// Clock overrides the resilience layer's time source (nil = real
+	// time) — tests inject oracle.ManualClock to run retry/backoff and
+	// breaker cooldown schedules without sleeping.
+	Clock oracle.Clock
+}
+
+// resilienceEnabled reports whether queries should stack the Resilient
+// wrapper onto the oracle UDF.
+func (o Options) resilienceEnabled() bool {
+	return o.OracleTimeout > 0 || o.OracleRetries > 0
 }
 
 // Engine holds the catalog of tables, the UDF registry, and the cache
@@ -159,10 +200,17 @@ type Engine struct {
 	refs   map[string]*atomic.Pointer[dataset.Dataset]
 	seed   uint64
 	ixOpts index.Options
+	opts   Options
 	// labels is the cross-query oracle label store (nil when disabled).
 	// It is invalidated on table/oracle re-registration and survives
 	// AppendTable: appends never change existing record ids or labels.
 	labels *labelstore.Store
+	// breakers holds one circuit breaker per oracle UDF name, created
+	// lazily and shared by every query of the backend (guarded by mu).
+	breakers map[string]*oracle.Breaker
+	// counters receives breaker transitions and retry/timeout activity
+	// (nil until WithCounters).
+	counters atomic.Pointer[metrics.Counters]
 }
 
 // New returns an empty engine whose query randomness derives from seed.
@@ -170,15 +218,33 @@ func New(seed uint64) *Engine {
 	return NewWithOptions(seed, Options{})
 }
 
-// NewWithOptions is New with explicit index-construction and
-// label-store tuning.
+// NewWithOptions is New with explicit index-construction, label-store,
+// and resilience tuning. It panics if the configured label WAL cannot
+// be opened — only reachable when Options.LabelWALPath is set; callers
+// configuring a WAL should prefer Open and handle the error.
 func NewWithOptions(seed uint64, opts Options) *Engine {
+	e, err := Open(seed, opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Open is NewWithOptions with the label WAL's open/replay error
+// surfaced instead of panicking.
+func Open(seed uint64, opts Options) (*Engine, error) {
 	var labels *labelstore.Store
 	if opts.LabelCacheBytes >= 0 {
-		labels = labelstore.New(labelstore.Options{
-			MaxBytes: opts.LabelCacheBytes,
-			Shards:   opts.LabelCacheShards,
+		var err error
+		labels, err = labelstore.Open(labelstore.Options{
+			MaxBytes:     opts.LabelCacheBytes,
+			Shards:       opts.LabelCacheShards,
+			WALPath:      opts.LabelWALPath,
+			WALSyncEvery: opts.LabelWALSyncEvery,
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &Engine{
 		tables:  make(map[string]*dataset.Dataset),
@@ -191,8 +257,29 @@ func NewWithOptions(seed uint64, opts Options) *Engine {
 			SegmentSize: opts.SegmentSize,
 			Parallelism: opts.BuildParallelism,
 		},
-		labels: labels,
+		opts:     opts,
+		labels:   labels,
+		breakers: make(map[string]*oracle.Breaker),
+	}, nil
+}
+
+// Close flushes and closes the label store's write-ahead log, if one
+// is configured. Nil-safe and idempotent.
+func (e *Engine) Close() error {
+	if e == nil {
+		return nil
 	}
+	return e.labels.Close()
+}
+
+// WithCounters mirrors breaker transitions and retry/timeout activity
+// into the service counters. Attach before serving queries — breakers
+// created earlier keep a nil counter set. Returns e for chaining.
+func (e *Engine) WithCounters(c *metrics.Counters) *Engine {
+	if e != nil {
+		e.counters.Store(c)
+	}
+	return e
 }
 
 // LabelStore exposes the engine's cross-query oracle label store (nil
@@ -200,12 +287,73 @@ func NewWithOptions(seed uint64, opts Options) *Engine {
 // attachment, and tests.
 func (e *Engine) LabelStore() *labelstore.Store { return e.labels }
 
+// breakerFor returns the circuit breaker shared by every query of the
+// named oracle UDF, creating it on first use. Returns nil (allow
+// everything) when resilience is not configured.
+func (e *Engine) breakerFor(name string) *oracle.Breaker {
+	if !e.opts.resilienceEnabled() {
+		return nil
+	}
+	e.mu.RLock()
+	b := e.breakers[name]
+	e.mu.RUnlock()
+	if b != nil {
+		return b
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if b = e.breakers[name]; b != nil {
+		return b
+	}
+	b = oracle.NewBreaker(oracle.BreakerOptions{
+		Threshold: e.opts.BreakerThreshold,
+		Cooldown:  e.opts.BreakerCooldown,
+		Clock:     e.opts.Clock,
+	}).WithCounters(e.counters.Load())
+	e.breakers[name] = b
+	return b
+}
+
+// Breaker exposes the named oracle's circuit breaker (nil when the
+// oracle has never been queried under a resilience configuration) —
+// for stats, readiness checks, and tests.
+func (e *Engine) Breaker(name string) *oracle.Breaker {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.breakers[name]
+}
+
+// OpenBreakers reports how many oracle circuit breakers are currently
+// not closed — the readiness signal surfaced by GET /readyz.
+func (e *Engine) OpenBreakers() int {
+	e.mu.RLock()
+	breakers := make([]*oracle.Breaker, 0, len(e.breakers))
+	for _, b := range e.breakers {
+		breakers = append(breakers, b)
+	}
+	e.mu.RUnlock()
+	n := 0
+	for _, b := range breakers {
+		if b.State() != oracle.BreakerClosed {
+			n++
+		}
+	}
+	return n
+}
+
 // RegisterTable adds a dataset under the given table name, invalidating
 // any cached indexes and stored oracle labels built over a previous
-// registration of the name.
+// registration of the name. The label store is invalidated only on
+// RE-registration (the name was already registered in this process):
+// the first registration after boot is loading, not superseding, so
+// labels replayed from the write-ahead log survive it — a restarted
+// server that loads the same datasets re-buys zero labels. Operators
+// re-registering a table with *different* data after a restart get the
+// invalidation at that (second) registration, exactly as in-process.
 func (e *Engine) RegisterTable(name string, d *dataset.Dataset) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	_, existed := e.tables[name]
 	e.tables[name] = d
 	delete(e.refs, name) // a direct registration detaches default UDF refs
 	for k := range e.indexes {
@@ -213,7 +361,9 @@ func (e *Engine) RegisterTable(name string, d *dataset.Dataset) {
 			delete(e.indexes, k)
 		}
 	}
-	e.labels.InvalidateTable(name)
+	if existed {
+		e.labels.InvalidateTable(name)
+	}
 }
 
 // AppendTable atomically extends table name with extra's records,
@@ -342,11 +492,17 @@ func fuserFor(fusion query.FusionKind, calibBudget int) (multiproxy.Fuser, error
 // RegisterOracle adds an oracle UDF under the given function name,
 // invalidating any stored labels bought from a previous registration
 // and any fused index whose calibration was fitted with its labels.
+// As with RegisterTable, the invalidation fires only on
+// RE-registration, so WAL-replayed labels survive the first
+// registration after a restart.
 func (e *Engine) RegisterOracle(name string, fn OracleUDF) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	_, existed := e.oracles[name]
 	e.oracles[name] = fn
-	e.invalidateOracleLocked(name)
+	if existed {
+		e.invalidateOracleLocked(name)
+	}
 }
 
 // RegisterProxy adds a proxy UDF under the given function name,
@@ -411,6 +567,8 @@ func (e *Engine) RegisterDatasetDefaults(name string, d *dataset.Dataset) {
 	// read, and the next proxy scan would index out of range.
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	_, tableExisted := e.tables[name]
+	_, oracleExisted := e.oracles[oracleName]
 	e.tables[name] = d
 	e.oracles[oracleName] = func(i int) (bool, error) {
 		cur := ref.Load()
@@ -426,8 +584,14 @@ func (e *Engine) RegisterDatasetDefaults(name string, d *dataset.Dataset) {
 			delete(e.indexes, k)
 		}
 	}
-	e.labels.InvalidateTable(name)
-	e.labels.InvalidateOracle(oracleName)
+	// Invalidate only on re-registration (see RegisterTable): a fresh
+	// boot loading the same dataset keeps every WAL-replayed label.
+	if tableExisted {
+		e.labels.InvalidateTable(name)
+	}
+	if oracleExisted {
+		e.labels.InvalidateOracle(oracleName)
+	}
 }
 
 // QueryResult is the engine-level answer with execution statistics.
@@ -575,7 +739,7 @@ func (e *Engine) ExecutePlanContext(ctx context.Context, plan *query.Plan, opts 
 
 	rng := randx.New(seed).Stream(hashString(plan.SourceText))
 	progress := newProgressCounter(opts.Progress)
-	orc := buildOracle(oracleFn, opts, progress)
+	orc := e.buildOracle(ctx, plan, oracleFn, opts, progress)
 	opts.Counters.QueryExecuted()
 
 	// Wire the shared label store into the budget wrapper. The grammar's
@@ -630,12 +794,31 @@ func (e *Engine) ExecutePlanContext(ctx context.Context, plan *query.Plan, opts 
 	return res, nil
 }
 
-// buildOracle stacks the execution options onto the raw oracle UDF:
-// a progress-counting wrapper (innermost, so every real invocation is
-// observed) and, when parallelism is requested, a batch dispatcher that
-// overlaps oracle latency across goroutines.
-func buildOracle(fn OracleUDF, opts ExecOptions, progress *progressCounter) oracle.Oracle {
+// buildOracle stacks the execution options onto the raw oracle UDF.
+// From the inside out: the resilience wrapper (per-attempt timeouts,
+// retries with deterministic backoff jitter, the per-oracle shared
+// circuit breaker) so a transient failure is retried for the failing
+// record alone; the progress-counting wrapper, which therefore counts
+// only finally-successful invocations; and, when parallelism is
+// requested, the batch dispatcher that overlaps oracle latency across
+// goroutines. The resilience jitter seed derives from the engine seed
+// and the query text — a pure function, so a replayed query backs off
+// on an identical schedule regardless of interleaving.
+func (e *Engine) buildOracle(ctx context.Context, plan *query.Plan, fn OracleUDF, opts ExecOptions, progress *progressCounter) oracle.Oracle {
 	var orc oracle.Oracle = oracle.Func(fn)
+	if e.opts.resilienceEnabled() {
+		counters := opts.Counters
+		if counters == nil {
+			counters = e.counters.Load()
+		}
+		orc = oracle.NewResilient(orc, oracle.ResilientOptions{
+			Timeout:     e.opts.OracleTimeout,
+			Retries:     e.opts.OracleRetries,
+			BaseBackoff: e.opts.OracleBackoff,
+			Seed:        e.seed ^ hashString("resilient:"+plan.SourceText),
+			Clock:       e.opts.Clock,
+		}).WithBreaker(e.breakerFor(plan.OracleUDF)).WithContext(ctx).WithCounters(counters)
+	}
 	if opts.Progress != nil {
 		orc = &countingOracle{inner: orc, progress: progress}
 	}

@@ -1,0 +1,331 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"supg/internal/dataset"
+	"supg/internal/metrics"
+	"supg/internal/oracle"
+	"supg/internal/randx"
+)
+
+// resilienceSQL are the three query families of the paper (recall
+// target, precision target, joint) the chaos battery pins.
+var resilienceSQL = map[string]string{
+	"RT": `
+		SELECT * FROM video
+		WHERE video_oracle(frame) = true
+		ORACLE LIMIT 1000
+		USING video_proxy(frame)
+		RECALL TARGET 90%
+		WITH PROBABILITY 95%`,
+	"PT": `
+		SELECT * FROM video
+		WHERE video_oracle(frame) = true
+		ORACLE LIMIT 1000
+		USING video_proxy(frame)
+		PRECISION TARGET 90%
+		WITH PROBABILITY 95%`,
+	"JT": `
+		SELECT * FROM video
+		WHERE video_oracle(frame) = true
+		USING video_proxy(frame)
+		RECALL TARGET 80%
+		PRECISION TARGET 90%
+		WITH PROBABILITY 95%`,
+}
+
+// registerVideo registers the test table with a plain (fault-free)
+// oracle UDF over d's ground truth.
+func registerVideo(e *Engine, d *dataset.Dataset) {
+	e.RegisterTable("video", d)
+	e.RegisterProxy("video_proxy", func(i int) float64 { return d.Score(i) })
+	e.RegisterOracle("video_oracle", func(i int) (bool, error) { return d.TrueLabel(i), nil })
+}
+
+// TestChaosEquivalence is the tentpole guarantee: with 30% of oracle
+// attempts failing transiently, a query retried by the resilience
+// layer returns Indices, Tau, and OracleCalls byte-identical to a
+// fault-free run — faults change latency, never answers.
+func TestChaosEquivalence(t *testing.T) {
+	d := dataset.Beta(randx.New(1), 30000, 0.01, 2)
+	for name, sql := range resilienceSQL {
+		t.Run(name, func(t *testing.T) {
+			base := NewWithOptions(42, Options{})
+			registerVideo(base, d)
+			want, err := base.Execute(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// 0.3^(1+retries) per-record exhaustion probability: with 24
+			// retries it is ~3e-13 — deterministically zero failures for
+			// any fixed seed that does not hit the bound, and this one
+			// does not (the test would fail loudly if it did).
+			chaotic := NewWithOptions(42, Options{
+				OracleRetries: 24,
+				OracleBackoff: time.Nanosecond,
+			})
+			chaotic.RegisterTable("video", d)
+			chaotic.RegisterProxy("video_proxy", func(i int) float64 { return d.Score(i) })
+			chaos := oracle.NewChaos(
+				oracle.Func(func(i int) (bool, error) { return d.TrueLabel(i), nil }),
+				oracle.ChaosOptions{Seed: 7, FailureRate: 0.3},
+			)
+			chaotic.RegisterOracle("video_oracle", chaos.Label)
+
+			var c metrics.Counters
+			got, err := chaotic.ExecutePlanContextForTest(t, sql, &c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIndices(got.Indices, want.Indices) {
+				t.Fatalf("Indices diverged under chaos: %d vs %d records", len(got.Indices), len(want.Indices))
+			}
+			if got.Tau != want.Tau {
+				t.Fatalf("Tau diverged: %v vs %v", got.Tau, want.Tau)
+			}
+			if got.OracleCalls != want.OracleCalls {
+				t.Fatalf("OracleCalls diverged: %d vs %d", got.OracleCalls, want.OracleCalls)
+			}
+			injected, _ := chaos.Injected()
+			if injected == 0 {
+				t.Fatal("chaos injected nothing; the equivalence is vacuous")
+			}
+			if got := c.Snapshot().OracleRetries; got == 0 {
+				t.Fatal("no retries recorded despite injected failures")
+			}
+			t.Logf("%s: %d injected transient failures, identical result", name, injected)
+		})
+	}
+}
+
+// ExecutePlanContextForTest executes sql with counters attached —
+// a test shim keeping the chaos battery readable.
+func (e *Engine) ExecutePlanContextForTest(t *testing.T, sql string, c *metrics.Counters) (*QueryResult, error) {
+	t.Helper()
+	return e.ExecuteContext(context.Background(), sql, ExecOptions{Counters: c})
+}
+
+// TestChaosEquivalenceParallelDispatch repeats the RT equivalence
+// under parallel oracle dispatch: retries happen per failing record
+// inside the dispatcher's workers, and the merged result is still
+// byte-identical.
+func TestChaosEquivalenceParallelDispatch(t *testing.T) {
+	d := dataset.Beta(randx.New(1), 30000, 0.01, 2)
+	base := NewWithOptions(42, Options{})
+	registerVideo(base, d)
+	want, err := base.Execute(resilienceSQL["RT"])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaotic := NewWithOptions(42, Options{OracleRetries: 24, OracleBackoff: time.Nanosecond})
+	chaotic.RegisterTable("video", d)
+	chaotic.RegisterProxy("video_proxy", func(i int) float64 { return d.Score(i) })
+	chaos := oracle.NewChaos(
+		oracle.Func(func(i int) (bool, error) { return d.TrueLabel(i), nil }),
+		oracle.ChaosOptions{Seed: 3, FailureRate: 0.3},
+	)
+	chaotic.RegisterOracle("video_oracle", chaos.Label)
+	got, err := chaotic.ExecuteContext(context.Background(), resilienceSQL["RT"], ExecOptions{
+		OracleParallelism: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIndices(got.Indices, want.Indices) || got.Tau != want.Tau || got.OracleCalls != want.OracleCalls {
+		t.Fatalf("parallel chaos run diverged: %d/%v/%d vs %d/%v/%d",
+			len(got.Indices), got.Tau, got.OracleCalls, len(want.Indices), want.Tau, want.OracleCalls)
+	}
+}
+
+// TestKillRestartZeroRebuy is the durability acceptance test: a query
+// against a WAL-backed engine, then a simulated crash (new engine, same
+// WAL), then the same query — which must make ZERO inner oracle UDF
+// calls and return a byte-identical result.
+func TestKillRestartZeroRebuy(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "labels.wal")
+	d := dataset.Beta(randx.New(1), 30000, 0.01, 2)
+	opts := Options{LabelWALPath: walPath}
+
+	mk := func() (*Engine, *atomic.Int64) {
+		e, err := Open(42, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var udfCalls atomic.Int64
+		e.RegisterTable("video", d)
+		e.RegisterProxy("video_proxy", func(i int) float64 { return d.Score(i) })
+		e.RegisterOracle("video_oracle", func(i int) (bool, error) {
+			udfCalls.Add(1)
+			return d.TrueLabel(i), nil
+		})
+		return e, &udfCalls
+	}
+
+	for name, sql := range resilienceSQL {
+		t.Run(name, func(t *testing.T) {
+			e1, calls1 := mk()
+			want, err := e1.Execute(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if calls1.Load() == 0 {
+				t.Fatal("cold run made no oracle calls")
+			}
+			if err := e1.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// "Restart": a fresh engine process replays the WAL; the fresh
+			// registrations must NOT invalidate the recovered labels.
+			e2, calls2 := mk()
+			defer e2.Close()
+			if got := e2.LabelStore().Stats().WALReplayed; got == 0 {
+				t.Fatal("nothing replayed from the WAL")
+			}
+			got, err := e2.Execute(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := calls2.Load(); n != 0 {
+				t.Fatalf("warm run re-bought %d labels, want 0", n)
+			}
+			if !sameIndices(got.Indices, want.Indices) || got.Tau != want.Tau || got.OracleCalls != want.OracleCalls {
+				t.Fatalf("post-restart result diverged")
+			}
+			if got.LabelCacheHits != got.OracleCalls {
+				t.Fatalf("warm run: %d cache hits vs %d oracle calls, want equal", got.LabelCacheHits, got.OracleCalls)
+			}
+		})
+	}
+}
+
+// TestRestartThenReRegistrationInvalidates pins the other half of the
+// recovery contract: replayed labels survive the FIRST registration of
+// a name after boot, but a SECOND (re-)registration still invalidates
+// them — durably, via a journaled tombstone.
+func TestRestartThenReRegistrationInvalidates(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "labels.wal")
+	opts := Options{LabelWALPath: walPath}
+	d := dataset.Beta(randx.New(1), 30000, 0.01, 2)
+
+	e1, err := Open(42, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerVideo(e1, d)
+	if _, err := e1.Execute(resilienceSQL["RT"]); err != nil {
+		t.Fatal(err)
+	}
+	e1.Close()
+
+	e2, err := Open(42, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerVideo(e2, d)
+	if e2.LabelStore().Len() == 0 {
+		t.Fatal("labels did not survive first post-boot registration")
+	}
+	registerVideo(e2, d) // re-registration in-process: supersedes the labels
+	if got := e2.LabelStore().Len(); got != 0 {
+		t.Fatalf("labels survived re-registration: %d", got)
+	}
+	e2.Close()
+
+	e3, err := Open(42, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e3.Close()
+	if got := e3.LabelStore().Len(); got != 0 {
+		t.Fatalf("tombstoned labels resurrected after restart: %d", got)
+	}
+}
+
+// failAfterOracle succeeds for the first n calls, then fails
+// transiently forever.
+func failAfterOracle(d *dataset.Dataset, n int64) (OracleUDF, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(i int) (bool, error) {
+		if calls.Add(1) > n {
+			return false, oracle.Transient(errors.New("backend down"))
+		}
+		return d.TrueLabel(i), nil
+	}, &calls
+}
+
+// TestBreakerFailFastWithDiagnostic drives the graceful-degradation
+// path end to end: an oracle that dies mid-query surfaces a typed
+// ErrOracleUnavailable carrying the labels-folded-so-far count, repeated
+// failures trip the shared breaker, and further queries fail fast.
+func TestBreakerFailFastWithDiagnostic(t *testing.T) {
+	d := dataset.Beta(randx.New(1), 30000, 0.01, 2)
+	e := NewWithOptions(42, Options{
+		OracleRetries:    1,
+		OracleBackoff:    time.Nanosecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour,
+	})
+	e.RegisterTable("video", d)
+	e.RegisterProxy("video_proxy", func(i int) float64 { return d.Score(i) })
+	udf, _ := failAfterOracle(d, 5)
+	e.RegisterOracle("video_oracle", udf)
+
+	for q := 0; q < 3; q++ {
+		_, err := e.Execute(resilienceSQL["RT"])
+		if !errors.Is(err, oracle.ErrOracleUnavailable) {
+			t.Fatalf("query %d: err = %v, want ErrOracleUnavailable", q, err)
+		}
+		var ue *oracle.UnavailableError
+		if !errors.As(err, &ue) {
+			t.Fatalf("query %d: no UnavailableError in chain", q)
+		}
+		// The first query bought 5 labels before the outage; warm
+		// repeats fold the same 5 from the label store.
+		if ue.LabelsFolded != 5 {
+			t.Fatalf("query %d: LabelsFolded = %d, want 5", q, ue.LabelsFolded)
+		}
+	}
+	if got := e.OpenBreakers(); got != 1 {
+		t.Fatalf("OpenBreakers = %d, want 1 after threshold failures", got)
+	}
+	if got := e.Breaker("video_oracle").State(); got != oracle.BreakerOpen {
+		t.Fatalf("breaker state %v, want open", got)
+	}
+
+	// Fail-fast: the breaker refuses the call without touching the UDF.
+	_, err := e.Execute(resilienceSQL["RT"])
+	if !errors.Is(err, oracle.ErrOracleUnavailable) || !errors.Is(err, oracle.ErrBreakerOpen) {
+		t.Fatalf("breaker-open query: err = %v, want breaker-open unavailable", err)
+	}
+}
+
+// TestResilienceDisabledIsTransparent pins that the default Options
+// add no wrapper: a failing oracle error propagates raw (no
+// UnavailableError, no breaker).
+func TestResilienceDisabledIsTransparent(t *testing.T) {
+	d := dataset.Beta(randx.New(1), 30000, 0.01, 2)
+	e := New(42)
+	e.RegisterTable("video", d)
+	e.RegisterProxy("video_proxy", func(i int) float64 { return d.Score(i) })
+	raw := errors.New("plain failure")
+	e.RegisterOracle("video_oracle", func(i int) (bool, error) { return false, raw })
+	_, err := e.Execute(resilienceSQL["RT"])
+	if err == nil || errors.Is(err, oracle.ErrOracleUnavailable) {
+		t.Fatalf("err = %v, want the raw error", err)
+	}
+	if !errors.Is(err, raw) {
+		t.Fatalf("err = %v does not wrap the raw failure", err)
+	}
+	if got := e.OpenBreakers(); got != 0 {
+		t.Fatalf("OpenBreakers = %d without resilience", got)
+	}
+}

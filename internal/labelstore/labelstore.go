@@ -52,6 +52,17 @@ type Options struct {
 	// Shards is the number of independently-locked segments per cache
 	// (0 = DefaultShards; values are rounded up to a power of two).
 	Shards int
+	// WALPath, when non-empty, makes the store crash-durable: every
+	// label written through a Cache is appended to the write-ahead log
+	// at this path, and Open replays the log into memory on boot so a
+	// restarted process recovers every label it paid for with zero
+	// oracle re-buys. See wal.go for the on-disk format.
+	WALPath string
+	// WALSyncEvery is the fsync cadence: the log is flushed and synced
+	// after every N appended records (0 or 1 = every record, the
+	// durable default; larger values trade the tail of a crash for
+	// throughput).
+	WALSyncEvery int
 }
 
 // Key identifies one cache: labels are valid only for a specific
@@ -79,11 +90,30 @@ type Store struct {
 	evictions     atomic.Int64
 	invalidations atomic.Int64
 
+	wal         *wal
+	walReplayed atomic.Int64
+
 	counters atomic.Pointer[metrics.Counters]
 }
 
-// New returns an empty store with the given bounds.
+// New returns an empty store with the given bounds. It panics if the
+// configured write-ahead log cannot be opened — only reachable when
+// Options.WALPath is set; callers configuring a WAL should prefer Open
+// and handle the error.
 func New(opts Options) *Store {
+	s, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open returns a store with the given bounds. When Options.WALPath is
+// set it opens (creating if absent) the write-ahead log, replays every
+// durable label into the in-memory shards, truncates any torn tail
+// left by a crash, and compacts the log if it has grown far past the
+// live label set.
+func Open(opts Options) (*Store, error) {
 	if opts.MaxBytes <= 0 {
 		opts.MaxBytes = DefaultMaxBytes
 	}
@@ -100,21 +130,71 @@ func New(opts Options) *Store {
 	if maxEntries < 1 {
 		maxEntries = 1
 	}
-	return &Store{
+	s := &Store{
 		caches:     make(map[Key]*Cache),
 		shards:     n,
 		maxEntries: maxEntries,
 	}
+	if opts.WALPath != "" {
+		w, replayed, err := openWAL(s, opts.WALPath, opts.WALSyncEvery)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = w
+		s.walReplayed.Store(replayed)
+		// Compact on boot when the log is dominated by dead frames
+		// (tombstoned labels, duplicates), so it cannot grow without
+		// bound across restarts.
+		live := s.entries.Load() + int64(len(s.caches))
+		if w.records > walCompactMinRecords && w.records > 2*live {
+			w.mu.Lock()
+			err := w.compactLocked()
+			w.mu.Unlock()
+			if err != nil {
+				w.close()
+				return nil, err
+			}
+		}
+	}
+	return s, nil
 }
 
 // WithCounters mirrors hit/miss/eviction/invalidation activity into
 // the service counters (shown by GET /v1/stats). Returns s for
-// chaining.
+// chaining. When a WAL is attached, the records already in the log and
+// the labels replayed on boot are folded into the counters at attach
+// time.
 func (s *Store) WithCounters(c *metrics.Counters) *Store {
 	if s != nil {
 		s.counters.Store(c)
+		if s.wal != nil {
+			c.WALRecords(s.wal.recordCount())
+			c.WALReplayed(s.walReplayed.Load())
+		}
 	}
 	return s
+}
+
+// Close flushes and closes the write-ahead log, if one is attached.
+// Nil-safe and idempotent; returns the first WAL append error if any
+// write was lost.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.wal.close()
+}
+
+// CompactWAL rewrites the write-ahead log to hold only the currently
+// live labels, reclaiming the space of tombstoned and duplicate
+// records. No-op without a WAL.
+func (s *Store) CompactWAL() error {
+	if s == nil || s.wal == nil {
+		return nil
+	}
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
+	return s.wal.compactLocked()
 }
 
 // Cache returns the live cache for the (table, oracle) pair, creating
@@ -149,19 +229,40 @@ func (s *Store) Cache(table, oracle string) *Cache {
 
 // InvalidateTable kills every cache of the table (any oracle) and
 // reports how many caches were dropped. Call when a table is
-// re-registered: record ids may now mean different records.
+// re-registered: record ids may now mean different records. With a WAL
+// attached, a tombstone is journaled so the dropped labels stay dead
+// across restarts.
 func (s *Store) InvalidateTable(table string) int {
-	return s.invalidate(func(k Key) bool { return k.Table == table })
+	if s == nil {
+		return 0
+	}
+	n := s.invalidateMatch(func(k Key) bool { return k.Table == table }, true)
+	if n > 0 {
+		s.wal.appendTombstone(recTombTable, table)
+	}
+	return n
 }
 
 // InvalidateOracle kills every cache of the oracle UDF (any table) and
 // reports how many caches were dropped. Call when an oracle UDF is
 // re-registered or wrapped: the function may now label differently.
+// With a WAL attached, a tombstone is journaled so the dropped labels
+// stay dead across restarts.
 func (s *Store) InvalidateOracle(oracle string) int {
-	return s.invalidate(func(k Key) bool { return k.Oracle == oracle })
+	if s == nil {
+		return 0
+	}
+	n := s.invalidateMatch(func(k Key) bool { return k.Oracle == oracle }, true)
+	if n > 0 {
+		s.wal.appendTombstone(recTombOracle, oracle)
+	}
+	return n
 }
 
-func (s *Store) invalidate(match func(Key) bool) int {
+// invalidateMatch kills every cache whose key matches. count=false is
+// the WAL replay path: reconstructing a past invalidation must not
+// inflate the live stats.
+func (s *Store) invalidateMatch(match func(Key) bool, count bool) int {
 	if s == nil {
 		return 0
 	}
@@ -177,7 +278,7 @@ func (s *Store) invalidate(match func(Key) bool) int {
 	for _, c := range dead {
 		c.kill()
 	}
-	if n := len(dead); n > 0 {
+	if n := len(dead); n > 0 && count {
 		s.invalidations.Add(int64(n))
 		s.counters.Load().LabelCacheInvalidations(int64(n))
 	}
@@ -205,6 +306,11 @@ type Stats struct {
 	// of live (table, oracle) pairs.
 	Entries int64 `json:"entries"`
 	Caches  int   `json:"caches"`
+	// WALRecords is the number of frames currently in the write-ahead
+	// log; WALReplayed the number of labels restored from it on boot.
+	// Both zero without a WAL.
+	WALRecords  int64 `json:"wal_records"`
+	WALReplayed int64 `json:"wal_replayed"`
 }
 
 // Stats returns a snapshot of the store's counters.
@@ -222,6 +328,8 @@ func (s *Store) Stats() Stats {
 		Invalidations: s.invalidations.Load(),
 		Entries:       s.entries.Load(),
 		Caches:        caches,
+		WALRecords:    s.wal.recordCount(),
+		WALReplayed:   s.walReplayed.Load(),
 	}
 }
 
@@ -283,8 +391,16 @@ func (c *Cache) Get(i int) (bool, bool) {
 // leak into the replacement cache. When the store-wide byte budget is
 // exceeded an oldest entry is evicted — preferably from another shard
 // or cache, so a fresh workload is not starved by a budget another
-// table filled.
+// table filled. With a WAL attached the label is journaled after the
+// memory insert, so the log never holds a label memory rejected.
 func (c *Cache) Put(i int, v bool) {
+	c.put(i, v, true)
+}
+
+// put is Put with the WAL append gated: replay applies logged labels
+// with log=false (they are already durable). Reports whether the label
+// was newly inserted.
+func (c *Cache) put(i int, v bool, log bool) bool {
 	sh := c.shardOf(i)
 	sh.mu.Lock()
 	// The dead flag is re-checked under the shard lock: kill sets it
@@ -293,24 +409,28 @@ func (c *Cache) Put(i int, v bool) {
 	// and drops — either way Store.entries stays consistent.
 	if c.dead.Load() {
 		sh.mu.Unlock()
-		return
+		return false
 	}
 	if _, ok := sh.m[i]; ok {
 		// Labels are a pure function of the record index; an existing
 		// entry is already correct.
 		sh.mu.Unlock()
-		return
+		return false
 	}
 	sh.m[i] = v
 	sh.fifo = append(sh.fifo, i)
 	total := c.store.entries.Add(1)
 	sh.mu.Unlock()
+	if log {
+		c.store.wal.appendLabel(c, i, v)
+	}
 	if total > c.store.maxEntries {
 		if n := c.store.evictOne(c, sh); n > 0 {
 			c.store.evictions.Add(int64(n))
 			c.store.counters.Load().LabelCacheEvictions(int64(n))
 		}
 	}
+	return true
 }
 
 // evictOne reclaims one entry to get back under the byte budget. It

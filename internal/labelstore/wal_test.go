@@ -1,0 +1,299 @@
+package labelstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"supg/internal/metrics"
+)
+
+func walStore(t *testing.T, path string) *Store {
+	t.Helper()
+	s, err := Open(Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestWALRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.wal")
+
+	s1 := walStore(t, path)
+	c1 := s1.Cache("video", "oracle")
+	c2 := s1.Cache("audio", "oracle")
+	for i := 0; i < 100; i++ {
+		c1.Put(i, i%3 == 0)
+	}
+	c2.Put(7, true)
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := walStore(t, path)
+	if got := s2.Len(); got != 101 {
+		t.Fatalf("replayed entries = %d, want 101", got)
+	}
+	st := s2.Stats()
+	if st.WALReplayed != 101 {
+		t.Fatalf("wal_replayed = %d, want 101", st.WALReplayed)
+	}
+	if st.WALRecords == 0 {
+		t.Fatal("wal_records = 0 after replay")
+	}
+	r1 := s2.Cache("video", "oracle")
+	for i := 0; i < 100; i++ {
+		v, ok := r1.Get(i)
+		if !ok || v != (i%3 == 0) {
+			t.Fatalf("record %d: got (%v, %v), want (%v, true)", i, v, ok, i%3 == 0)
+		}
+	}
+	if v, ok := s2.Cache("audio", "oracle").Get(7); !ok || !v {
+		t.Fatalf("audio record 7: (%v, %v)", v, ok)
+	}
+}
+
+func TestWALCountersAttach(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.wal")
+	s1 := walStore(t, path)
+	s1.Cache("t", "o").Put(1, true)
+	s1.Cache("t", "o").Put(2, false)
+	s1.Close()
+
+	s2 := walStore(t, path)
+	var c metrics.Counters
+	s2.WithCounters(&c)
+	snap := c.Snapshot()
+	if snap.WALReplayed != 2 {
+		t.Fatalf("wal_replayed counter = %d, want 2", snap.WALReplayed)
+	}
+	if snap.WALRecords == 0 {
+		t.Fatal("wal_records counter = 0 after attach")
+	}
+	before := snap.WALRecords
+	s2.Cache("t", "o").Put(3, true)
+	if got := c.Snapshot().WALRecords; got != before+1 {
+		t.Fatalf("wal_records after put = %d, want %d", got, before+1)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.wal")
+	s1 := walStore(t, path)
+	for i := 0; i < 10; i++ {
+		s1.Cache("t", "o").Put(i, true)
+	}
+	s1.Close()
+
+	// Simulate a crash mid-append: garbage half-frame at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x09, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(path)
+
+	s2 := walStore(t, path)
+	if got := s2.Len(); got != 10 {
+		t.Fatalf("entries after torn tail = %d, want 10", got)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// The truncated log accepts appends and replays them.
+	s2.Cache("t", "o").Put(99, true)
+	s2.Close()
+	s3 := walStore(t, path)
+	if got := s3.Len(); got != 11 {
+		t.Fatalf("entries after append+reopen = %d, want 11", got)
+	}
+}
+
+func TestWALCorruptFrameDropsTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.wal")
+	s1 := walStore(t, path)
+	for i := 0; i < 10; i++ {
+		s1.Cache("t", "o").Put(i, true)
+	}
+	s1.Close()
+
+	// Flip a byte in the last frame's payload: CRC fails, the replay
+	// keeps everything before it.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := walStore(t, path)
+	if got := s2.Len(); got != 9 {
+		t.Fatalf("entries after corrupt last frame = %d, want 9", got)
+	}
+}
+
+func TestWALTombstones(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.wal")
+	s1 := walStore(t, path)
+	s1.Cache("video", "a").Put(1, true)
+	s1.Cache("video", "b").Put(2, true)
+	s1.Cache("audio", "a").Put(3, true)
+	if n := s1.InvalidateOracle("a"); n != 2 {
+		t.Fatalf("invalidated %d caches, want 2", n)
+	}
+	// Labels bought after the tombstone, against the fresh cache, live.
+	s1.Cache("video", "a").Put(4, true)
+	s1.Close()
+
+	s2 := walStore(t, path)
+	if v, ok := s2.Cache("video", "b").Get(2); !ok || !v {
+		t.Fatal("label of untouched oracle lost")
+	}
+	if _, ok := s2.Cache("video", "a").Get(1); ok {
+		t.Fatal("tombstoned label resurrected")
+	}
+	if _, ok := s2.Cache("audio", "a").Get(3); ok {
+		t.Fatal("tombstoned label resurrected (other table)")
+	}
+	if v, ok := s2.Cache("video", "a").Get(4); !ok || !v {
+		t.Fatal("post-tombstone label lost")
+	}
+	if got := s2.Len(); got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+
+	// Table tombstones likewise survive restart.
+	s2.InvalidateTable("video")
+	s2.Close()
+	s3 := walStore(t, path)
+	if got := s3.Len(); got != 0 {
+		t.Fatalf("entries after table tombstone = %d, want 0", got)
+	}
+}
+
+func TestWALCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.wal")
+	s := walStore(t, path)
+	for i := 0; i < 500; i++ {
+		s.Cache("t", "o").Put(i, i%2 == 0)
+	}
+	s.InvalidateOracle("o") // all 500 labels now dead in the log
+	for i := 0; i < 20; i++ {
+		s.Cache("t", "o").Put(i, i%2 == 0)
+	}
+	recordsBefore := s.Stats().WALRecords
+	if err := s.CompactWAL(); err != nil {
+		t.Fatal(err)
+	}
+	recordsAfter := s.Stats().WALRecords
+	// 20 live labels + 1 cache def.
+	if recordsAfter != 21 {
+		t.Fatalf("records after compaction = %d, want 21 (before: %d)", recordsAfter, recordsBefore)
+	}
+	// Compacted log still accepts appends and replays correctly.
+	s.Cache("t", "o").Put(900, true)
+	s.Close()
+
+	r := walStore(t, path)
+	if got := r.Len(); got != 21 {
+		t.Fatalf("entries after compact+reopen = %d, want 21", got)
+	}
+	for i := 0; i < 20; i++ {
+		v, ok := r.Cache("t", "o").Get(i)
+		if !ok || v != (i%2 == 0) {
+			t.Fatalf("record %d: (%v, %v)", i, v, ok)
+		}
+	}
+	if v, ok := r.Cache("t", "o").Get(900); !ok || !v {
+		t.Fatal("post-compaction append lost")
+	}
+}
+
+func TestWALAutoCompactOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.wal")
+	s := walStore(t, path)
+	// Far more dead than live frames, above the auto-compact floor.
+	for i := 0; i < 2000; i++ {
+		s.Cache("t", "o").Put(i, true)
+	}
+	s.InvalidateOracle("o")
+	s.Cache("t", "o").Put(1, true)
+	s.Close()
+
+	r := walStore(t, path)
+	if got := r.Stats().WALRecords; got != 2 {
+		t.Fatalf("records after auto-compaction = %d, want 2 (def + 1 label)", got)
+	}
+	if got := r.Len(); got != 1 {
+		t.Fatalf("entries = %d, want 1", got)
+	}
+}
+
+func TestWALDisabledIsNoop(t *testing.T) {
+	s := New(Options{})
+	s.Cache("t", "o").Put(1, true)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompactWAL(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.WALRecords != 0 || st.WALReplayed != 0 {
+		t.Fatalf("WAL stats on WAL-less store: %+v", st)
+	}
+	// Nil store stays nil-safe through the new methods too.
+	var nils *Store
+	if err := nils.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nils.CompactWAL(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALOpenErrorSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(Options{WALPath: dir}); err == nil {
+		t.Fatal("opening a directory as WAL must fail")
+	}
+}
+
+func TestWALConcurrentPuts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.wal")
+	s := walStore(t, path)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			c := s.Cache("t", "o")
+			for i := 0; i < 200; i++ {
+				c.Put(g*200+i, (g+i)%2 == 0)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	s.Close()
+	r := walStore(t, path)
+	if got := r.Len(); got != 1600 {
+		t.Fatalf("entries = %d, want 1600", got)
+	}
+	for g := 0; g < 8; g++ {
+		for i := 0; i < 200; i++ {
+			v, ok := r.Cache("t", "o").Get(g*200 + i)
+			if !ok || v != ((g+i)%2 == 0) {
+				t.Fatalf("record %d: (%v, %v)", g*200+i, v, ok)
+			}
+		}
+	}
+}

@@ -21,6 +21,16 @@ type Counters struct {
 	labelCacheMisses        atomic.Int64
 	labelCacheEvictions     atomic.Int64
 	labelCacheInvalidations atomic.Int64
+
+	oracleRetries  atomic.Int64
+	oracleTimeouts atomic.Int64
+	// breakerState is a gauge: the number of circuit breakers currently
+	// not closed (open or half-open). 0 means every oracle backend is
+	// considered healthy.
+	breakerState atomic.Int64
+
+	walRecords  atomic.Int64
+	walReplayed atomic.Int64
 }
 
 // JobSubmitted records a job accepted into the queue.
@@ -97,6 +107,54 @@ func (c *Counters) LabelCacheInvalidations(n int64) {
 	}
 }
 
+// OracleRetries records n transient oracle failures that were retried
+// by the resilience layer.
+func (c *Counters) OracleRetries(n int64) {
+	if c != nil {
+		c.oracleRetries.Add(n)
+	}
+}
+
+// OracleTimeouts records n oracle attempts abandoned by the per-call
+// timeout.
+func (c *Counters) OracleTimeouts(n int64) {
+	if c != nil {
+		c.oracleTimeouts.Add(n)
+	}
+}
+
+// BreakerOpened records a circuit breaker leaving the closed state
+// (the breaker-state gauge goes up by one).
+func (c *Counters) BreakerOpened() {
+	if c != nil {
+		c.breakerState.Add(1)
+	}
+}
+
+// BreakerClosed records a circuit breaker returning to the closed
+// state after a successful half-open probe.
+func (c *Counters) BreakerClosed() {
+	if c != nil {
+		c.breakerState.Add(-1)
+	}
+}
+
+// WALRecords records n records appended to (or, at attach time, already
+// present in) the label store's write-ahead log.
+func (c *Counters) WALRecords(n int64) {
+	if c != nil {
+		c.walRecords.Add(n)
+	}
+}
+
+// WALReplayed records n labels restored from the write-ahead log on
+// boot.
+func (c *Counters) WALReplayed(n int64) {
+	if c != nil {
+		c.walReplayed.Add(n)
+	}
+}
+
 // CounterSnapshot is a point-in-time copy of all counters, shaped for
 // the /v1/stats endpoint.
 type CounterSnapshot struct {
@@ -112,6 +170,15 @@ type CounterSnapshot struct {
 	LabelCacheMisses        int64 `json:"label_cache_misses"`
 	LabelCacheEvictions     int64 `json:"label_cache_evictions"`
 	LabelCacheInvalidations int64 `json:"label_cache_invalidations"`
+
+	OracleRetries  int64 `json:"oracle_retries"`
+	OracleTimeouts int64 `json:"oracle_timeouts"`
+	// BreakerState is the number of circuit breakers currently not
+	// closed (0 = all oracle backends healthy).
+	BreakerState int64 `json:"breaker_state"`
+
+	WALRecords  int64 `json:"wal_records"`
+	WALReplayed int64 `json:"wal_replayed"`
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each field
@@ -133,5 +200,12 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		LabelCacheMisses:        c.labelCacheMisses.Load(),
 		LabelCacheEvictions:     c.labelCacheEvictions.Load(),
 		LabelCacheInvalidations: c.labelCacheInvalidations.Load(),
+
+		OracleRetries:  c.oracleRetries.Load(),
+		OracleTimeouts: c.oracleTimeouts.Load(),
+		BreakerState:   c.breakerState.Load(),
+
+		WALRecords:  c.walRecords.Load(),
+		WALReplayed: c.walReplayed.Load(),
 	}
 }

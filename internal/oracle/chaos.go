@@ -1,0 +1,114 @@
+package oracle
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ChaosOptions configure the fault-injection oracle. The zero value
+// injects nothing (a transparent wrapper).
+type ChaosOptions struct {
+	// Seed drives every random injection decision. Decisions are a pure
+	// function of (Seed, record, attempt) — independent of call order
+	// and goroutine interleaving — so a chaos run is exactly
+	// reproducible.
+	Seed uint64
+	// FailureRate is the per-attempt probability of injecting a
+	// transient failure (0 = never, 1 = always).
+	FailureRate float64
+	// FailFirst makes the first N attempts of every record fail
+	// transiently before the record starts succeeding — the
+	// fail-N-then-succeed script for retry tests.
+	FailFirst int
+	// LatencySpikeRate is the per-attempt probability of sleeping
+	// LatencySpike before answering, for timeout tests.
+	LatencySpikeRate float64
+	// LatencySpike is the injected sleep duration.
+	LatencySpike time.Duration
+	// PermanentFrom/PermanentTo define a window of global call numbers
+	// [From, To) that fail permanently — a backend outage script. The
+	// window is counted over calls in arrival order, so use it with
+	// sequential dispatch when determinism matters.
+	PermanentFrom int
+	PermanentTo   int
+}
+
+// Chaos wraps an oracle with scripted and randomized fault injection:
+// seeded per-attempt transient failures, fail-N-then-succeed scripts,
+// latency spikes, and permanent-failure windows. It exists for the
+// chaos test battery — proving the resilience layer recovers
+// byte-identical results under injected faults — and for demos.
+// Injected transient failures are marked with Transient, window
+// failures with Permanent, so Classify sees exactly what a
+// well-behaved backend would report. Safe for concurrent use.
+type Chaos struct {
+	inner Oracle
+	opts  ChaosOptions
+
+	mu       sync.Mutex
+	attempts map[int]int // per-record attempt counter
+	calls    int         // global call counter (for the permanent window)
+
+	injectedTransient int
+	injectedPermanent int
+}
+
+// NewChaos wraps inner with the given fault script.
+func NewChaos(inner Oracle, opts ChaosOptions) *Chaos {
+	return &Chaos{inner: inner, opts: opts, attempts: make(map[int]int)}
+}
+
+// Label implements Oracle, injecting faults per the configured script
+// before delegating to the inner oracle.
+func (c *Chaos) Label(i int) (bool, error) {
+	c.mu.Lock()
+	attempt := c.attempts[i]
+	c.attempts[i] = attempt + 1
+	call := c.calls
+	c.calls++
+	inWindow := call >= c.opts.PermanentFrom && call < c.opts.PermanentTo
+	if inWindow {
+		c.injectedPermanent++
+	}
+	c.mu.Unlock()
+
+	if inWindow {
+		return false, Permanent(fmt.Errorf("chaos: permanent outage window (call %d)", call))
+	}
+	if attempt < c.opts.FailFirst {
+		c.noteTransient()
+		return false, Transient(fmt.Errorf("chaos: scripted failure %d/%d on record %d", attempt+1, c.opts.FailFirst, i))
+	}
+	if c.opts.FailureRate > 0 && jitterFloat(c.opts.Seed, uint64(i), uint64(attempt)) < c.opts.FailureRate {
+		c.noteTransient()
+		return false, Transient(fmt.Errorf("chaos: injected transient failure on record %d (attempt %d)", i, attempt))
+	}
+	if c.opts.LatencySpikeRate > 0 && c.opts.LatencySpike > 0 &&
+		jitterFloat(c.opts.Seed^0x5ca1ab1e, uint64(i), uint64(attempt)) < c.opts.LatencySpikeRate {
+		time.Sleep(c.opts.LatencySpike)
+	}
+	return c.inner.Label(i)
+}
+
+func (c *Chaos) noteTransient() {
+	c.mu.Lock()
+	c.injectedTransient++
+	c.mu.Unlock()
+}
+
+// Injected reports how many transient and permanent failures were
+// injected so far.
+func (c *Chaos) Injected() (transient, permanent int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injectedTransient, c.injectedPermanent
+}
+
+// Calls reports the total number of Label invocations observed
+// (including failed attempts).
+func (c *Chaos) Calls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}

@@ -1,0 +1,152 @@
+package oracle
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the resilience layer so retry/backoff
+// schedules and breaker cooldowns are testable without real sleeps.
+// The zero configuration everywhere selects the real clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx's error in
+	// the latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+	// Timer returns a channel that fires once after d plus a stop
+	// function releasing the timer's resources (safe to call after the
+	// fire).
+	Timer(d time.Duration) (<-chan time.Time, func())
+}
+
+// realClock is the production Clock backed by package time.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (realClock) Timer(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTimer(d)
+	return t.C, func() { t.Stop() }
+}
+
+// clockOrReal returns c, defaulting a nil clock to the real one.
+func clockOrReal(c Clock) Clock {
+	if c == nil {
+		return realClock{}
+	}
+	return c
+}
+
+// ManualClock is a deterministic Clock for tests: time stands still
+// until Advance moves it, firing due timers and waking due sleepers.
+// Safe for concurrent use.
+type ManualClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*manualWaiter
+}
+
+type manualWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewManualClock returns a manual clock reading start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock: it blocks until Advance has moved the clock
+// past now+d, or ctx is done.
+func (c *ManualClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	ch, stop := c.Timer(d)
+	defer stop()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Timer implements Clock.
+func (c *ManualClock) Timer(d time.Duration) (<-chan time.Time, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := &manualWaiter{at: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		w.ch <- c.now
+		return w.ch, func() {}
+	}
+	c.waiters = append(c.waiters, w)
+	return w.ch, func() { c.remove(w) }
+}
+
+func (c *ManualClock) remove(w *manualWaiter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, cur := range c.waiters {
+		if cur == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Advance moves the clock forward by d, firing every timer whose
+// deadline has passed (in deadline order).
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	var due []*manualWaiter
+	keep := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(now) {
+			due = append(due, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	c.waiters = keep
+	c.mu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// PendingTimers reports how many timers are waiting for Advance —
+// tests use it to synchronize with goroutines entering a backoff sleep.
+func (c *ManualClock) PendingTimers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}

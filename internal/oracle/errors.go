@@ -1,0 +1,139 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Class categorizes an oracle error for the resilience layer: it
+// decides whether a failed Label call is worth retrying.
+type Class int
+
+const (
+	// ClassTransient marks failures that may succeed on retry — network
+	// blips, rate limits, timeouts. Unmarked errors default to this
+	// class: in the paper's setting the oracle is a remote, unreliable
+	// backend, so retrying is the safe default.
+	ClassTransient Class = iota
+	// ClassPermanent marks failures retrying cannot fix — a record out
+	// of range, a malformed request, an exhausted budget. The resilience
+	// layer propagates them immediately and does not count them against
+	// the circuit breaker (the backend answered; it is healthy).
+	ClassPermanent
+	// ClassCancelled marks context cancellation and deadline expiry of
+	// the query itself. Neither retried nor held against the backend.
+	ClassCancelled
+)
+
+// String names the class for diagnostics.
+func (c Class) String() string {
+	switch c {
+	case ClassTransient:
+		return "transient"
+	case ClassPermanent:
+		return "permanent"
+	case ClassCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// classifiedError carries an explicit class assigned by Transient or
+// Permanent. It unwraps to the underlying error.
+type classifiedError struct {
+	err   error
+	class Class
+}
+
+func (e *classifiedError) Error() string { return e.err.Error() }
+func (e *classifiedError) Unwrap() error { return e.err }
+
+// Transient marks err as retryable. Oracle UDFs and backends wrap
+// failures they know to be temporary so the resilience layer retries
+// them; unmarked errors are treated as transient anyway, so Transient
+// is mostly documentation plus protection against future default
+// changes.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classifiedError{err: err, class: ClassTransient}
+}
+
+// Permanent marks err as not retryable: the resilience layer fails the
+// call immediately instead of burning retries and backoff on it.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classifiedError{err: err, class: ClassPermanent}
+}
+
+// Classify maps an oracle error onto its retry class. Explicit marks
+// (Transient, Permanent) win; context cancellation and deadline expiry
+// are ClassCancelled; a spent budget is ClassPermanent (retrying cannot
+// mint budget); everything else defaults to ClassTransient.
+func Classify(err error) Class {
+	var ce *classifiedError
+	if errors.As(err, &ce) {
+		return ce.class
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ClassCancelled
+	}
+	if errors.Is(err, ErrBudgetExhausted) {
+		return ClassPermanent
+	}
+	return ClassTransient
+}
+
+// ErrOracleUnavailable is the sentinel matched (via errors.Is) by every
+// UnavailableError: the oracle backend could not be reached even with
+// retries, or the circuit breaker is refusing calls. Queries fail fast
+// with it instead of hanging, and the HTTP layer maps it to 503 with a
+// Retry-After hint.
+var ErrOracleUnavailable = errors.New("oracle: unavailable")
+
+// ErrBreakerOpen is returned (wrapped in an UnavailableError) when the
+// circuit breaker is open and the call was refused without touching the
+// backend.
+var ErrBreakerOpen = errors.New("oracle: circuit breaker open")
+
+// UnavailableError is the typed failure of the resilient oracle
+// pipeline: retries exhausted on a transient failure, or the breaker
+// open. LabelsFolded reports how many budget-consuming labels the
+// failed query had already folded into its accounting (and, when a
+// label store is attached, durably persisted) before the failure — the
+// diagnostic callers surface so operators know a retry of the query
+// resumes warm, not from zero.
+type UnavailableError struct {
+	// Cause is the underlying failure (the last attempt's error, or
+	// ErrBreakerOpen).
+	Cause error
+	// LabelsFolded is the number of labels the failing query had already
+	// bought and folded before the failure surfaced.
+	LabelsFolded int
+}
+
+// Error implements error.
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("oracle: unavailable: %v (%d labels folded before failure)", e.Cause, e.LabelsFolded)
+}
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *UnavailableError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrOracleUnavailable sentinel.
+func (e *UnavailableError) Is(target error) bool { return target == ErrOracleUnavailable }
+
+// NoteLabelsFolded records n as the labels-folded-so-far diagnostic on
+// the UnavailableError inside err, if there is one and it has not been
+// set yet. The budget wrapper's owner calls it on the way out of a
+// failed query, where the folded count is known.
+func NoteLabelsFolded(err error, n int) {
+	var ue *UnavailableError
+	if errors.As(err, &ue) && ue.LabelsFolded == 0 {
+		ue.LabelsFolded = n
+	}
+}

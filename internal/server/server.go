@@ -16,6 +16,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"supg/internal/engine"
 	"supg/internal/jobs"
 	"supg/internal/metrics"
+	"supg/internal/oracle"
 )
 
 // Options tune the server beyond the randomness seed. The zero value
@@ -61,6 +63,31 @@ type Options struct {
 	// LabelCacheShards is the label store's shard count per (table,
 	// oracle) pair (default 16).
 	LabelCacheShards int
+	// LabelWALPath, when non-empty, makes the label store crash-durable:
+	// bought labels are journaled to a write-ahead log and replayed on
+	// boot, so a restarted server re-buys zero labels (see
+	// labelstore.Options.WALPath). Configure via Open — NewWithOptions
+	// panics if the log cannot be opened.
+	LabelWALPath string
+	// LabelWALSyncEvery is the WAL fsync cadence (0 or 1 = every record).
+	LabelWALSyncEvery int
+	// OracleTimeout bounds one oracle UDF attempt (0 = unbounded);
+	// timed-out attempts count as transient failures and are retried.
+	OracleTimeout time.Duration
+	// OracleRetries re-attempts transient oracle failures (0 = fail on
+	// the first error). Retries never change query results.
+	OracleRetries int
+	// OracleBackoff is the base retry backoff, doubling per retry with
+	// deterministic jitter (0 = 10ms).
+	OracleBackoff time.Duration
+	// BreakerThreshold consecutive finally-failed oracle calls trip the
+	// per-oracle circuit breaker open (0 = 5); while open, queries fail
+	// fast with 503 and GET /readyz reports not-ready.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// half-opening for a probe (0 = 1s). Also the Retry-After hint on
+	// 503 responses.
+	BreakerCooldown time.Duration
 }
 
 // defaultMaxBodyBytes caps uploads at 64 MiB unless overridden.
@@ -112,16 +139,41 @@ type Server struct {
 func New(seed uint64) *Server { return NewWithOptions(seed, Options{}) }
 
 // NewWithOptions returns a server with explicit tuning. Call Shutdown
-// to drain the job workers when done.
+// to drain the job workers when done. It panics if the configured
+// label WAL cannot be opened — only reachable when Options.LabelWALPath
+// is set; callers configuring a WAL should prefer Open.
 func NewWithOptions(seed uint64, opts Options) *Server {
+	s, err := Open(seed, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open is NewWithOptions with the label WAL's open/replay error
+// surfaced instead of panicking. By the time Open returns, WAL replay
+// is complete — a served request can never observe a half-recovered
+// label store, which is why GET /readyz needs no replay progress state.
+func Open(seed uint64, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	eng, err := engine.Open(seed, engine.Options{
+		SegmentSize:       opts.SegmentSize,
+		BuildParallelism:  opts.IndexBuildParallelism,
+		LabelCacheBytes:   opts.LabelCacheBytes,
+		LabelCacheShards:  opts.LabelCacheShards,
+		LabelWALPath:      opts.LabelWALPath,
+		LabelWALSyncEvery: opts.LabelWALSyncEvery,
+		OracleTimeout:     opts.OracleTimeout,
+		OracleRetries:     opts.OracleRetries,
+		OracleBackoff:     opts.OracleBackoff,
+		BreakerThreshold:  opts.BreakerThreshold,
+		BreakerCooldown:   opts.BreakerCooldown,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		engine: engine.NewWithOptions(seed, engine.Options{
-			SegmentSize:      opts.SegmentSize,
-			BuildParallelism: opts.IndexBuildParallelism,
-			LabelCacheBytes:  opts.LabelCacheBytes,
-			LabelCacheShards: opts.LabelCacheShards,
-		}),
+		engine:    eng,
 		summaries: make(map[string]dataset.Summary),
 		datasets:  make(map[string]*dataset.Dataset),
 		mux:       http.NewServeMux(),
@@ -129,8 +181,10 @@ func NewWithOptions(seed uint64, opts Options) *Server {
 		counters:  &metrics.Counters{},
 	}
 	// Mirror label store activity into the service counters so
-	// GET /v1/stats reports hit/miss/eviction/invalidation totals.
+	// GET /v1/stats reports hit/miss/eviction/invalidation totals (plus
+	// WAL records/replays), and breaker/retry/timeout activity likewise.
 	s.engine.LabelStore().WithCounters(s.counters)
+	s.engine.WithCounters(s.counters)
 	s.manager = jobs.NewManager(s.runJob, jobs.Config{
 		Workers:    opts.Workers,
 		QueueDepth: opts.JobQueueDepth,
@@ -138,22 +192,34 @@ func NewWithOptions(seed uint64, opts Options) *Server {
 		Counters:   s.counters,
 	})
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("/v1/datasets/", s.handleUploadDataset)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Shutdown drains the async job subsystem: no new jobs are accepted,
+// Shutdown drains the async job subsystem — no new jobs are accepted,
 // queued and running jobs finish unless ctx expires first (then they
-// are cancelled). Call after the HTTP listener has stopped.
-func (s *Server) Shutdown(ctx context.Context) error { return s.manager.Shutdown(ctx) }
+// are cancelled) — and then flushes and closes the label store's
+// write-ahead log. Call after the HTTP listener has stopped.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.manager.Shutdown(ctx)
+	if cerr := s.engine.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Engine exposes the underlying engine (for preload wiring in
+// cmd/supg-server and for tests).
+func (s *Server) Engine() *engine.Engine { return s.engine }
 
 // Counters exposes the service counters (for tests and the stats
 // endpoint).
@@ -191,6 +257,34 @@ func (s *Server) RegisterProxy(name string, fn func(record int) float64) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// readyResponse is the GET /readyz body.
+type readyResponse struct {
+	Ready bool `json:"ready"`
+	// BreakersOpen is the number of oracle circuit breakers currently
+	// not closed; any open breaker makes the server not-ready (new
+	// queries against that oracle would fail fast with 503).
+	BreakersOpen int `json:"breakers_open"`
+}
+
+// handleReady serves the readiness probe: 200 once the server can
+// usefully serve queries (WAL replay is complete before the server is
+// constructed, see Open) and no oracle circuit breaker is open; 503
+// otherwise. Liveness stays on /healthz, which never flips — an open
+// breaker is a reason to drain traffic, not to restart the process.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	open := s.engine.OpenBreakers()
+	resp := readyResponse{Ready: open == 0, BreakersOpen: open}
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 // DatasetInfo is the JSON shape of a dataset summary.
@@ -377,10 +471,56 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		FreeReuse:         req.FreeReuse,
 	})
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		s.writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.buildQueryResponse(req, res))
+}
+
+// statusClientClosedRequest is the (nginx-convention) status for a
+// query abandoned because the client went away — distinct from 504,
+// where the server's own deadline expired, and from 500, which would
+// page someone about a failure that was the client's choice.
+const statusClientClosedRequest = 499
+
+// writeQueryError maps a query execution error onto its HTTP status:
+//
+//   - context.Canceled        -> 499 (the client disconnected mid-query)
+//   - context.DeadlineExceeded -> 504 (a server-side deadline expired)
+//   - oracle.ErrOracleUnavailable -> 503 + Retry-After (the oracle
+//     backend is down even with retries, or its breaker is open; the
+//     error's labels-folded count tells the caller the paid work is
+//     kept, so retrying after the hint resumes warm)
+//   - anything else           -> 400 (a bad query)
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		// The client is usually gone, but the status still documents the
+		// outcome for proxies and logs.
+		httpError(w, statusClientClosedRequest, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, oracle.ErrOracleUnavailable):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// retryAfterSeconds derives the 503 Retry-After hint from the breaker
+// cooldown: by then an open breaker has half-opened and a retry gets a
+// probe slot. Never less than a second.
+func (s *Server) retryAfterSeconds() int {
+	cooldown := s.opts.BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	secs := int(math.Ceil(cooldown.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // decodeQueryRequest parses and validates the shared query/job request
