@@ -4,7 +4,16 @@
 //
 // Usage:
 //
-//	supg-server -addr :8080 [-preload beta] [-workers 4] [-oracle-parallelism 8]
+//	supg-server -addr :8080 [-preload beta] [-workers 4] [-oracle-parallelism 8] \
+//	            [-persist-dir /var/lib/supg] [-label-wal /var/lib/supg/labels.wal]
+//
+// With -persist-dir set, uploaded datasets and built score indexes
+// are flushed to disk and recovered on the next boot (mmap'd, zero
+// proxy re-scans, byte-identical results); the label WAL defaults to
+// labels.wal inside that directory, so a bare -persist-dir makes the
+// whole server state durable. The boot banner reports what was
+// recovered, and -persist-madvise hints residency for the mapped
+// files.
 //
 // API:
 //
@@ -52,6 +61,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
@@ -84,8 +94,16 @@ func main() {
 		brkCooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker fails fast before probing the backend again (0 = default 1s); also the Retry-After hint on 503s")
 		grace       = flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight jobs on shutdown")
 		variants    = flag.Bool("preload-proxy-variants", false, "register <preload>_proxy_soft (sqrt) and <preload>_proxy_sharp (squared) proxy variants so FUSE queries are demoable out of the box")
+		persistDir  = flag.String("persist-dir", "", "durable storage directory: datasets and built score indexes are flushed here and recovered on restart (mmap'd, zero proxy re-scans, byte-identical results); also the default home of the label WAL")
+		persistAdv  = flag.String("persist-madvise", "", "residency hint for mmap'd persisted files: normal|random|sequential|willneed (empty = none)")
 	)
 	flag.Parse()
+
+	// A persistent server wants a persistent label store too: default
+	// the label WAL into the persist dir unless explicitly configured.
+	if *persistDir != "" && *labelWAL == "" {
+		*labelWAL = filepath.Join(*persistDir, "labels.wal")
+	}
 
 	srv, err := server.Open(*seed, server.Options{
 		Workers:               *workers,
@@ -103,6 +121,8 @@ func main() {
 		OracleRetries:         *oracleRetry,
 		BreakerThreshold:      *brkThresh,
 		BreakerCooldown:       *brkCooldown,
+		PersistDir:            *persistDir,
+		PersistMadvise:        *persistAdv,
 	})
 	if err != nil {
 		log.Fatalf("supg-server: %v", err)
@@ -111,22 +131,38 @@ func main() {
 		st := srv.Engine().LabelStore().Stats()
 		fmt.Printf("label WAL %s: replayed %d labels (%d records)\n", *labelWAL, st.WALReplayed, st.WALRecords)
 	}
-	if *preload != "" {
-		r := randx.New(*seed)
-		var d *dataset.Dataset
-		switch *preload {
-		case "beta":
-			d = dataset.Beta(r, *n, 0.01, 2)
-		case "imagenet":
-			d = dataset.ImageNetSim(r)
-		case "nightstreet":
-			d = dataset.NightStreetSimN(r, *n)
-		default:
-			log.Fatalf("supg-server: unknown preload %q", *preload)
+	if info, ok := srv.Engine().RecoveryInfo(); ok {
+		fmt.Printf("persist dir %s: recovered %d tables, %d indexes (%d segments), %.1f MiB mapped in %s\n",
+			*persistDir, info.Tables, info.Indexes, info.Segments,
+			float64(info.MappedBytes)/(1<<20), info.Elapsed.Round(time.Millisecond))
+		for _, note := range info.Degraded {
+			log.Printf("supg-server: persist recovery degraded: %s", note)
 		}
-		srv.RegisterDataset(*preload, d)
-		fmt.Printf("preloaded %s: %d records (%.3f%% positive)\n",
-			*preload, d.Len(), 100*d.PositiveRate())
+	}
+	if *preload != "" {
+		d := srv.Dataset(*preload)
+		if d != nil {
+			// The storage tier already recovered this dataset — keep it
+			// (and its persisted indexes) instead of regenerating, which
+			// would invalidate the recovered state.
+			fmt.Printf("preload %s: recovered %d records from persist dir, skipping regeneration\n",
+				*preload, d.Len())
+		} else {
+			r := randx.New(*seed)
+			switch *preload {
+			case "beta":
+				d = dataset.Beta(r, *n, 0.01, 2)
+			case "imagenet":
+				d = dataset.ImageNetSim(r)
+			case "nightstreet":
+				d = dataset.NightStreetSimN(r, *n)
+			default:
+				log.Fatalf("supg-server: unknown preload %q", *preload)
+			}
+			srv.RegisterDataset(*preload, d)
+			fmt.Printf("preloaded %s: %d records (%.3f%% positive)\n",
+				*preload, d.Len(), 100*d.PositiveRate())
+		}
 		if *variants {
 			// Deterministic monotone transforms of the preloaded proxy:
 			// individually they are miscalibrated views of the same

@@ -221,4 +221,27 @@
 // labels into a fresh log via atomic rename. See README.md ("Fault
 // tolerance & durability") for the frame format and the recovery
 // procedure.
+//
+// # Durable storage: zero-rescan recovery
+//
+// Labels are the only state worth money, but proxy scores and index
+// permutations are the state worth time: at production scale, scoring
+// millions of records takes hours, and before this tier a restart
+// threw all of it away. internal/storage persists both — dataset
+// columns and the per-segment immutable (score, id) permutations of
+// every built index — as write-once files committed through a
+// CRC-framed manifest log with the same torn-tail-truncation and
+// compaction discipline as the label WAL. An engine opened with a
+// persist directory (engine.Options.PersistDir, supg-server
+// -persist-dir) flushes each index after build or append and, on
+// boot, mmaps everything back: recovery re-sorts zero permutations
+// and calls zero proxy UDFs — persisted segments are verified in
+// O(n) (strict (score, id) ascent, bounds, bitwise agreement with the
+// column), which pins the unique sort order and makes every recovered
+// answer byte-identical to the pre-crash one. Corrupt or torn files
+// are never served: the affected index degrades to a clean rebuild
+// (durably tombstoned, reported in RecoveryInfo and /v1/stats), and a
+// torn manifest tail is truncated exactly like the WAL's. See
+// README.md ("Durable storage") for the file formats, the
+// invalidation rules, and the recovery procedure.
 package supg

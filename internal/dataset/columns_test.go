@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"supg/internal/randx"
+)
+
+func TestFromColumns(t *testing.T) {
+	scores := []float64{0.5, 0.25, 1}
+	labels := []bool{true, false, true}
+	d, err := FromColumns("t", scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-copy: the dataset aliases the caller's slices.
+	if &d.Scores()[0] != &scores[0] {
+		t.Fatal("FromColumns copied the score column")
+	}
+	if d.Name() != "t" || d.Len() != 3 || !d.TrueLabel(0) || d.TrueLabel(1) {
+		t.Fatalf("columns misread: %+v", d.Summarize())
+	}
+	if _, err := FromColumns("t", nil, nil); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if _, err := FromColumns("t", scores, labels[:2]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestReadBinaryIntoRoundTrip(t *testing.T) {
+	d := Beta(randx.New(21), 1000, 0.2, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, 0, d.Len())
+	labels := make([]bool, 0, d.Len())
+	got, err := ReadBinaryInto(bytes.NewReader(buf.Bytes()), "t", scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("length %d, want %d", got.Len(), d.Len())
+	}
+	// Decoded into the caller's buffer, not a fresh one.
+	if &got.Scores()[0] != &scores[:1][0] {
+		t.Fatal("ReadBinaryInto allocated its own score buffer")
+	}
+	for i := 0; i < d.Len(); i++ {
+		if math.Float64bits(got.Score(i)) != math.Float64bits(d.Score(i)) || got.TrueLabel(i) != d.TrueLabel(i) {
+			t.Fatalf("record %d diverged", i)
+		}
+	}
+}
+
+func TestReadBinaryIntoRejectsOverflow(t *testing.T) {
+	d := Beta(randx.New(22), 100, 0.2, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	// 99-record buffers cannot hold a 100-record stream; the reject must
+	// come from the capacity check, before any decode.
+	_, err := ReadBinaryInto(bytes.NewReader(buf.Bytes()), "t",
+		make([]float64, 0, 99), make([]bool, 0, 99))
+	if err == nil {
+		t.Fatal("over-capacity stream accepted")
+	}
+	// A hostile header claiming 2^32 records is rejected the same way —
+	// the claimed count never sizes an allocation.
+	hostile := append([]byte{}, buf.Bytes()[:16]...)
+	binary.LittleEndian.PutUint64(hostile[8:], 1<<32)
+	_, err = ReadBinaryInto(bytes.NewReader(hostile), "t",
+		make([]float64, 0, 100), make([]bool, 0, 100))
+	if err == nil {
+		t.Fatal("hostile header accepted")
+	}
+}
+
+func TestReadBinarySized(t *testing.T) {
+	d := Beta(randx.New(23), 777, 0.2, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != BinarySize(d.Len()) {
+		t.Fatalf("BinarySize(%d) = %d, stream is %d bytes", d.Len(), BinarySize(d.Len()), buf.Len())
+	}
+	// Exact size: the sized fast path.
+	got, err := ReadBinarySized(bytes.NewReader(buf.Bytes()), "t", int64(buf.Len()))
+	if err != nil || got.Len() != d.Len() {
+		t.Fatalf("sized read: %v (len %d)", err, got.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if math.Float64bits(got.Score(i)) != math.Float64bits(d.Score(i)) {
+			t.Fatalf("record %d diverged", i)
+		}
+	}
+	// Unknown or wrong sizes fall back to the incremental reader and
+	// still parse correctly.
+	for _, size := range []int64{-1, 0, int64(buf.Len()) + 3} {
+		got, err := ReadBinarySized(bytes.NewReader(buf.Bytes()), "t", size)
+		if err != nil || got.Len() != d.Len() {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+	// A size that matches the header of a truncated stream must fail
+	// cleanly (short read), not fabricate records.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadBinarySized(bytes.NewReader(trunc), "t", int64(buf.Len())); err == nil {
+		t.Fatal("truncated stream parsed")
+	}
+}

@@ -42,6 +42,23 @@ func New(name string, scores []float64, labels []bool) (*Dataset, error) {
 	return &Dataset{name: name, scores: scores, labels: labels}, nil
 }
 
+// FromColumns constructs a Dataset over already-validated parallel
+// columns without the per-record range scan New performs. The slices
+// are retained (not copied) — the zero-copy path for callers whose
+// scores are integrity-checked elsewhere, like the storage tier's
+// CRC-verified mmap'd columns. Only structural errors (empty, length
+// mismatch) are reported; a caller passing unvalidated scores breaks
+// the [0,1] invariant downstream code relies on.
+func FromColumns(name string, scores []float64, labels []bool) (*Dataset, error) {
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("dataset %q: no records", name)
+	}
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("dataset %q: %d scores but %d labels", name, len(scores), len(labels))
+	}
+	return &Dataset{name: name, scores: scores, labels: labels}, nil
+}
+
 // MustNew is New but panics on error; for generators with validated input.
 func MustNew(name string, scores []float64, labels []bool) *Dataset {
 	d, err := New(name, scores, labels)

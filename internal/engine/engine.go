@@ -31,6 +31,7 @@ import (
 	"supg/internal/oracle"
 	"supg/internal/query"
 	"supg/internal/randx"
+	"supg/internal/storage"
 )
 
 // OracleUDF is a user-provided ground-truth predicate over record ids.
@@ -87,6 +88,14 @@ type indexEntry struct {
 	proxies     []string         // member proxy UDFs, in source order
 	fusion      query.FusionKind // FusionNone for single-proxy entries
 	calibOracle string           // oracle UDF a calibrated fusion was fitted with ("" otherwise)
+
+	// recovered marks an entry adopted from the durable storage tier:
+	// its build verifies (or append-extends) a persisted index instead
+	// of scanning proxies. epoch is the table's invalidation epoch at
+	// entry creation; a flush with a stale epoch abandons itself. See
+	// persist.go.
+	recovered bool
+	epoch     uint64
 
 	once    sync.Once
 	res     built
@@ -176,6 +185,19 @@ type Options struct {
 	// time) — tests inject oracle.ManualClock to run retry/backoff and
 	// breaker cooldown schedules without sleeping.
 	Clock oracle.Clock
+	// PersistDir, when non-empty, enables the durable storage tier:
+	// registered datasets and built score indexes are flushed to this
+	// directory and recovered on Open — mmap'd back into segment views
+	// with zero proxy UDF calls and zero permutation sorts, answering
+	// queries byte-identically to the pre-restart process. See
+	// internal/storage.
+	PersistDir string
+	// PersistNoMmap forces heap loads with portable decoding even on
+	// platforms that support zero-copy mapping.
+	PersistNoMmap bool
+	// PersistMadvise optionally hints mapped-file residency: "",
+	// "normal", "random", "sequential", or "willneed".
+	PersistMadvise string
 }
 
 // resilienceEnabled reports whether queries should stack the Resilient
@@ -211,6 +233,13 @@ type Engine struct {
 	// counters receives breaker transitions and retry/timeout activity
 	// (nil until WithCounters).
 	counters atomic.Pointer[metrics.Counters]
+	// store is the durable storage tier (nil when Options.PersistDir is
+	// empty). staged / stagedIx hold its recovered datasets and indexes
+	// until the registrations they depend on arrive (guarded by mu);
+	// see persist.go.
+	store    *storage.Store
+	staged   map[string]stagedTable
+	stagedIx map[indexKey]*stagedIndex
 }
 
 // New returns an empty engine whose query randomness derives from seed.
@@ -246,7 +275,7 @@ func Open(seed uint64, opts Options) (*Engine, error) {
 			return nil, err
 		}
 	}
-	return &Engine{
+	e := &Engine{
 		tables:  make(map[string]*dataset.Dataset),
 		oracles: make(map[string]OracleUDF),
 		proxies: make(map[string]ProxyUDF),
@@ -260,16 +289,29 @@ func Open(seed uint64, opts Options) (*Engine, error) {
 		opts:     opts,
 		labels:   labels,
 		breakers: make(map[string]*oracle.Breaker),
-	}, nil
+		staged:   make(map[string]stagedTable),
+		stagedIx: make(map[indexKey]*stagedIndex),
+	}
+	if err := e.openStorage(opts); err != nil {
+		labels.Close()
+		return nil, err
+	}
+	return e, nil
 }
 
-// Close flushes and closes the label store's write-ahead log, if one
-// is configured. Nil-safe and idempotent.
+// Close flushes and closes the label store's write-ahead log and the
+// durable storage tier, if configured. Nil-safe and idempotent.
 func (e *Engine) Close() error {
 	if e == nil {
 		return nil
 	}
-	return e.labels.Close()
+	err := e.labels.Close()
+	if e.store != nil {
+		if cerr := e.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // WithCounters mirrors breaker transitions and retry/timeout activity
@@ -278,6 +320,9 @@ func (e *Engine) Close() error {
 func (e *Engine) WithCounters(c *metrics.Counters) *Engine {
 	if e != nil {
 		e.counters.Store(c)
+		if e.store != nil && c != nil {
+			e.store.WithCounters(c)
+		}
 	}
 	return e
 }
@@ -364,6 +409,11 @@ func (e *Engine) RegisterTable(name string, d *dataset.Dataset) {
 	if existed {
 		e.labels.InvalidateTable(name)
 	}
+	// The durable tier mirrors the label store's first-registration
+	// rule: a fresh boot loading a recovered dataset adopts the on-disk
+	// state; a re-registration (or different content) tombstones and
+	// rewrites it.
+	e.persistTableLocked(name, d, existed)
 }
 
 // AppendTable atomically extends table name with extra's records,
@@ -397,6 +447,10 @@ func (e *Engine) AppendTable(name string, extra *dataset.Dataset) (*dataset.Data
 		// state.
 		ref.Store(combined)
 	}
+	// Persist the grown dataset. Index records are left alone: lineages
+	// survive appends, and each index re-flushes its extended form after
+	// its next build.
+	e.persistDataset(name, combined)
 	oldLen, newLen := old.Len(), combined.Len()
 	for key, parent := range e.indexes {
 		if key.table != name {
@@ -409,6 +463,7 @@ func (e *Engine) AppendTable(name string, extra *dataset.Dataset) (*dataset.Data
 		// labels come warm out of the cross-query label store.
 		if parent.fusion.Calibrated() {
 			delete(e.indexes, key)
+			e.dropIndexDurably(key)
 			continue
 		}
 		fns := make([]ProxyUDF, len(parent.proxies))
@@ -420,6 +475,7 @@ func (e *Engine) AppendTable(name string, extra *dataset.Dataset) (*dataset.Data
 		}
 		if !ok {
 			delete(e.indexes, key)
+			e.dropIndexDurably(key)
 			continue
 		}
 		key, parent := key, parent
@@ -427,6 +483,7 @@ func (e *Engine) AppendTable(name string, extra *dataset.Dataset) (*dataset.Data
 		e.indexes[key] = &indexEntry{
 			proxies: parent.proxies,
 			fusion:  fusion,
+			epoch:   e.storeEpoch(name),
 			build: func() (built, error) {
 				var b built
 				if parent.ensure() {
@@ -511,10 +568,24 @@ func (e *Engine) RegisterOracle(name string, fn OracleUDF) {
 func (e *Engine) RegisterProxy(name string, fn ProxyUDF) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	_, existed := e.proxies[name]
 	e.proxies[name] = fn
 	for k, en := range e.indexes {
 		if en.usesProxy(name) {
 			delete(e.indexes, k)
+			e.dropIndexDurably(k)
+		}
+	}
+	// Staged recovered indexes follow the first-registration rule: the
+	// first RegisterProxy after boot is loading the UDF the index was
+	// built from, not superseding it. (In-memory entries need no such
+	// guard — they can only exist if the proxy was already registered.)
+	if existed {
+		for k, si := range e.stagedIx {
+			if si.usesProxy(name) {
+				delete(e.stagedIx, k)
+				e.dropIndexDurably(k)
+			}
 		}
 	}
 }
@@ -545,6 +616,13 @@ func (e *Engine) invalidateOracleLocked(name string) {
 	for k, en := range e.indexes {
 		if en.calibOracle == name {
 			delete(e.indexes, k)
+			e.dropIndexDurably(k)
+		}
+	}
+	for k, si := range e.stagedIx {
+		if si.calibOracle == name {
+			delete(e.stagedIx, k)
+			e.dropIndexDurably(k)
 		}
 	}
 }
@@ -569,6 +647,7 @@ func (e *Engine) RegisterDatasetDefaults(name string, d *dataset.Dataset) {
 	defer e.mu.Unlock()
 	_, tableExisted := e.tables[name]
 	_, oracleExisted := e.oracles[oracleName]
+	_, proxyExisted := e.proxies[proxyName]
 	e.tables[name] = d
 	e.oracles[oracleName] = func(i int) (bool, error) {
 		cur := ref.Load()
@@ -582,6 +661,11 @@ func (e *Engine) RegisterDatasetDefaults(name string, d *dataset.Dataset) {
 	for k, en := range e.indexes {
 		if k.table == name || en.usesProxy(proxyName) || en.calibOracle == oracleName {
 			delete(e.indexes, k)
+			if k.table != name {
+				// Same-table drops are tombstoned wholesale by
+				// persistTableLocked below (when not adopting).
+				e.dropIndexDurably(k)
+			}
 		}
 	}
 	// Invalidate only on re-registration (see RegisterTable): a fresh
@@ -592,6 +676,15 @@ func (e *Engine) RegisterDatasetDefaults(name string, d *dataset.Dataset) {
 	if oracleExisted {
 		e.labels.InvalidateOracle(oracleName)
 	}
+	if proxyExisted || oracleExisted {
+		for k, si := range e.stagedIx {
+			if (proxyExisted && si.usesProxy(proxyName)) || (oracleExisted && si.calibOracle == oracleName) {
+				delete(e.stagedIx, k)
+				e.dropIndexDurably(k)
+			}
+		}
+	}
+	e.persistTableLocked(name, d, tableExisted)
 }
 
 // QueryResult is the engine-level answer with execution statistics.
@@ -611,6 +704,12 @@ type QueryResult struct {
 	// fusion, and index construction (the first query of a
 	// table/score-source pair).
 	IndexBuilt bool
+	// IndexRecovered reports that this query was the first of its
+	// (table, score source) pair and its index came from the durable
+	// storage tier instead of a build: zero sorts, and zero proxy calls
+	// unless the table grew since the flush (then ProxyCalls covers
+	// exactly the appended tail).
+	IndexRecovered bool
 	// Fusion names the score source's fusion strategy ("mean", "max",
 	// "logistic"; empty for the classic single-proxy form).
 	Fusion string
@@ -758,7 +857,14 @@ func (e *Engine) ExecutePlanContext(ctx context.Context, plan *query.Plan, opts 
 		}
 	}
 
-	res := &QueryResult{Plan: plan, IndexBuilt: built}
+	res := &QueryResult{Plan: plan}
+	if built {
+		if entry.recovered {
+			res.IndexRecovered = true
+		} else {
+			res.IndexBuilt = true
+		}
+	}
 	if !plan.Source.Single() {
 		res.Fusion = plan.Source.Fusion.String()
 	}
@@ -904,6 +1010,12 @@ func (e *Engine) tableIndex(plan *query.Plan) (*indexEntry, bool, error) {
 	if entry.err != nil {
 		return nil, built, entry.err
 	}
+	if built {
+		// Flush the fresh index to the durable tier (off the engine
+		// lock; no-op when persistence is off or the entry was recovered
+		// whole from disk).
+		e.persistIndex(key, entry)
+	}
 	return entry, built, nil
 }
 
@@ -928,6 +1040,20 @@ func (e *Engine) newIndexEntryLocked(key indexKey, plan *query.Plan) (*indexEntr
 	entry := &indexEntry{
 		proxies: append([]string(nil), src.Proxies...),
 		fusion:  src.Fusion,
+		epoch:   e.storeEpoch(key.table),
+	}
+
+	// A staged recovered index for this exact (table, source) short-
+	// circuits the build: the persisted permutation was verified at
+	// boot, so the entry adopts it (whole, or as the base of an append
+	// chain when the table grew since the flush).
+	if adopted := e.adoptStagedLocked(key, src, table, fns); adopted != nil {
+		entry.recovered = true
+		entry.build = adopted
+		if src.Fusion.Calibrated() {
+			entry.calibOracle = plan.OracleUDF
+		}
+		return entry, nil
 	}
 
 	if src.Single() {

@@ -1,0 +1,176 @@
+package index
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"supg/internal/randx"
+)
+
+// externalImage extracts the persistable artifact set of ix, copying
+// each slice so tests can corrupt one without touching the original.
+func externalImage(ix *ScoreIndex) External {
+	ext := External{Column: append([]float64(nil), ix.Scores()...)}
+	for i := 0; i < ix.Segments(); i++ {
+		sd := ix.SegmentView(i)
+		ext.Segments = append(ext.Segments, SegmentData{
+			Base:   sd.Base,
+			Perm:   append([]int(nil), sd.Perm...),
+			Sorted: append([]float64(nil), sd.Sorted...),
+		})
+	}
+	return ext
+}
+
+func testScores(n int) []float64 {
+	r := randx.New(17)
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+	}
+	// Duplicate runs exercise the (score, id) tie-break in the ascent
+	// verification.
+	for i := 0; i+3 < n; i += 97 {
+		scores[i+1], scores[i+2], scores[i+3] = scores[i], scores[i], scores[i]
+	}
+	return scores
+}
+
+// TestFromExternalEquivalence: an index reconstructed from its own
+// artifacts must answer every query bit-for-bit like the original, at
+// any segmentation, without sorting anything.
+func TestFromExternalEquivalence(t *testing.T) {
+	scores := testScores(5000)
+	for _, segSize := range []int{1, 7, 512, 5000, 9000} {
+		opts := Options{SegmentSize: segSize}
+		want, err := NewWithOptions(scores, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortsBefore := BuildSortsTotal()
+		got, err := FromExternal(externalImage(want), opts)
+		if err != nil {
+			t.Fatalf("segSize %d: %v", segSize, err)
+		}
+		if delta := BuildSortsTotal() - sortsBefore; delta != 0 {
+			t.Fatalf("segSize %d: FromExternal performed %d sorts", segSize, delta)
+		}
+		if got.Len() != want.Len() || got.Segments() != want.Segments() {
+			t.Fatalf("segSize %d: shape diverged", segSize)
+		}
+		for _, tau := range []float64{0, 0.001, 0.25, 0.5, 0.75, 0.999, 1} {
+			if g, w := got.CountAtLeast(tau), want.CountAtLeast(tau); g != w {
+				t.Fatalf("segSize %d: CountAtLeast(%g) = %d, want %d", segSize, tau, g, w)
+			}
+			g, w := got.AppendAtLeast(nil, tau), want.AppendAtLeast(nil, tau)
+			for i := range g {
+				if g[i] != w[i] {
+					t.Fatalf("segSize %d: AppendAtLeast(%g) diverged at %d", segSize, tau, i)
+				}
+			}
+		}
+		for _, k := range []int{1, 2, 100, len(scores)} {
+			if math.Float64bits(got.KthHighest(k)) != math.Float64bits(want.KthHighest(k)) {
+				t.Fatalf("segSize %d: KthHighest(%d) diverged", segSize, k)
+			}
+		}
+	}
+}
+
+// TestFromExternalRejectsCorruption: every way an on-disk image can be
+// inconsistent must be detected and refused — never served.
+func TestFromExternalRejectsCorruption(t *testing.T) {
+	scores := testScores(1000)
+	opts := Options{SegmentSize: 300}
+	ix, err := NewWithOptions(scores, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(ext *External)
+		errPart string
+	}{
+		{"empty column", func(ext *External) { ext.Column = nil; ext.Segments = nil }, "empty"},
+		{"no segments", func(ext *External) { ext.Segments = nil }, "no segments"},
+		{"wrong base", func(ext *External) { ext.Segments[1].Base = 299 }, "starts at"},
+		{"gap in tiling", func(ext *External) { ext.Segments = append(ext.Segments[:1], ext.Segments[2:]...) }, "starts at"},
+		{"short cover", func(ext *External) { ext.Segments = ext.Segments[:len(ext.Segments)-1] }, "cover"},
+		{"perm/sorted length skew", func(ext *External) { ext.Segments[0].Sorted = ext.Segments[0].Sorted[:200] }, "entries"},
+		{"perm out of range", func(ext *External) { ext.Segments[0].Perm[5] = 300 }, "out of range"},
+		{"negative perm entry", func(ext *External) { ext.Segments[0].Perm[5] = -1 }, "out of range"},
+		{"duplicate perm entry", func(ext *External) {
+			ext.Segments[0].Perm[5] = ext.Segments[0].Perm[4]
+			ext.Segments[0].Sorted[5] = ext.Segments[0].Sorted[4]
+		}, "ascending"},
+		{"sorted diverges from column", func(ext *External) { ext.Segments[0].Sorted[5] += 1e-9 }, "diverges"},
+		{"descending pair", func(ext *External) {
+			s := &ext.Segments[0]
+			s.Perm[0], s.Perm[1] = s.Perm[1], s.Perm[0]
+			s.Sorted[0], s.Sorted[1] = s.Sorted[1], s.Sorted[0]
+		}, "ascending"},
+		{"score above 1", func(ext *External) {
+			p := ext.Segments[0].Perm[len(ext.Segments[0].Perm)-1]
+			ext.Column[p] = 1.5
+			ext.Segments[0].Sorted[len(ext.Segments[0].Sorted)-1] = 1.5
+		}, "outside [0,1]"},
+		{"NaN score", func(ext *External) {
+			p := ext.Segments[0].Perm[0]
+			ext.Column[p] = math.NaN()
+			ext.Segments[0].Sorted[0] = math.NaN()
+		}, "outside"},
+		{"negative zero", func(ext *External) {
+			p := ext.Segments[0].Perm[0]
+			ext.Column[p] = math.Copysign(0, -1)
+			ext.Segments[0].Sorted[0] = math.Copysign(0, -1)
+		}, "-0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ext := externalImage(ix)
+			tc.mutate(&ext)
+			_, err := FromExternal(ext, opts)
+			if err == nil {
+				t.Fatal("corrupt image accepted")
+			}
+			if !strings.Contains(err.Error(), tc.errPart) {
+				t.Fatalf("error %q does not mention %q", err, tc.errPart)
+			}
+		})
+	}
+}
+
+// TestFromExternalAppend: a reconstructed index keeps growing like a
+// built one — appended segments are fresh heap memory, the adopted
+// image is never written.
+func TestFromExternalAppend(t *testing.T) {
+	scores := testScores(2000)
+	opts := Options{SegmentSize: 600}
+	want, err := NewWithOptions(scores, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromExternal(externalImage(want), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := testScores(700)
+	wantGrown, err := want.Append(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotGrown, err := got.Append(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotGrown.Len() != wantGrown.Len() || gotGrown.Segments() != wantGrown.Segments() {
+		t.Fatal("appended shape diverged")
+	}
+	for _, tau := range []float64{0.1, 0.5, 0.9} {
+		if gotGrown.CountAtLeast(tau) != wantGrown.CountAtLeast(tau) {
+			t.Fatalf("CountAtLeast(%g) diverged after append", tau)
+		}
+	}
+}

@@ -168,6 +168,10 @@ type ScoreIndex struct {
 	segs    []*segment
 	segSize int
 	par     int
+	// backing pins externally-owned memory (a mapped file) the column
+	// and segment slices alias; nil for heap-built indexes. See
+	// FromExternal.
+	backing any
 
 	mu       sync.RWMutex
 	mixtures map[MixtureKey]*mixture
@@ -239,10 +243,13 @@ func (ix *ScoreIndex) Append(extra []float64) (*ScoreIndex, error) {
 	}
 	segs = append(segs, fresh...)
 	return &ScoreIndex{
-		scores:   own,
-		segs:     segs,
-		segSize:  ix.segSize,
-		par:      ix.par,
+		scores:  own,
+		segs:    segs,
+		segSize: ix.segSize,
+		par:     ix.par,
+		// Old segments share their perm/sorted slices, which may alias
+		// externally-owned memory — keep it pinned.
+		backing:  ix.backing,
 		mixtures: make(map[MixtureKey]*mixture),
 	}, nil
 }
@@ -324,6 +331,7 @@ func buildSegment(column []float64, base, end int) (*segment, int, error) {
 	for i := range perm {
 		perm[i] = i
 	}
+	buildSorts.Add(1)
 	// Ties break by record id so the permutation is a deterministic
 	// function of the column — the unique ascending (score, id) total
 	// order, independent of the sort algorithm. Local id order equals

@@ -31,6 +31,21 @@ type Counters struct {
 
 	walRecords  atomic.Int64
 	walReplayed atomic.Int64
+
+	storageSegmentsPersisted atomic.Int64
+	storageTablesRecovered   atomic.Int64
+	storageIndexesRecovered  atomic.Int64
+	storageSegmentsRecovered atomic.Int64
+	// storageMappedBytes is a gauge: bytes of persisted files currently
+	// mmap'd into the process.
+	storageMappedBytes atomic.Int64
+	// storageRecoveryMillis is a gauge: wall-clock milliseconds the last
+	// storage recovery took.
+	storageRecoveryMillis atomic.Int64
+	// storageManifestRecords is a gauge: frames currently in the storage
+	// manifest (drops after a compaction).
+	storageManifestRecords     atomic.Int64
+	storageManifestCompactions atomic.Int64
 }
 
 // JobSubmitted records a job accepted into the queue.
@@ -155,6 +170,56 @@ func (c *Counters) WALReplayed(n int64) {
 	}
 }
 
+// StorageSegmentsPersisted records n segment files flushed to the
+// durable storage tier.
+func (c *Counters) StorageSegmentsPersisted(n int64) {
+	if c != nil {
+		c.storageSegmentsPersisted.Add(n)
+	}
+}
+
+// StorageRecovered records the boot-time recovery outcome: tables,
+// segmented indexes, and segment files restored from the storage tier
+// without rebuilding.
+func (c *Counters) StorageRecovered(tables, indexes, segments int64) {
+	if c != nil {
+		c.storageTablesRecovered.Add(tables)
+		c.storageIndexesRecovered.Add(indexes)
+		c.storageSegmentsRecovered.Add(segments)
+	}
+}
+
+// StorageMappedBytes moves the mapped-bytes gauge by n.
+func (c *Counters) StorageMappedBytes(n int64) {
+	if c != nil {
+		c.storageMappedBytes.Add(n)
+	}
+}
+
+// StorageRecoveryMillis moves the recovery-time gauge by n milliseconds
+// (attached once after recovery, so the gauge reads as the last
+// recovery's duration).
+func (c *Counters) StorageRecoveryMillis(n int64) {
+	if c != nil {
+		c.storageRecoveryMillis.Add(n)
+	}
+}
+
+// StorageManifestRecords moves the manifest-frames gauge by n (negative
+// after a compaction shrinks the log).
+func (c *Counters) StorageManifestRecords(n int64) {
+	if c != nil {
+		c.storageManifestRecords.Add(n)
+	}
+}
+
+// StorageManifestCompactions records n manifest compactions.
+func (c *Counters) StorageManifestCompactions(n int64) {
+	if c != nil {
+		c.storageManifestCompactions.Add(n)
+	}
+}
+
 // CounterSnapshot is a point-in-time copy of all counters, shaped for
 // the /v1/stats endpoint.
 type CounterSnapshot struct {
@@ -179,6 +244,18 @@ type CounterSnapshot struct {
 
 	WALRecords  int64 `json:"wal_records"`
 	WALReplayed int64 `json:"wal_replayed"`
+
+	StorageSegmentsPersisted int64 `json:"storage_segments_persisted"`
+	StorageTablesRecovered   int64 `json:"storage_tables_recovered"`
+	StorageIndexesRecovered  int64 `json:"storage_indexes_recovered"`
+	StorageSegmentsRecovered int64 `json:"storage_segments_recovered"`
+	// StorageMappedBytes is a gauge: persisted bytes currently mmap'd.
+	StorageMappedBytes int64 `json:"storage_mapped_bytes"`
+	// StorageRecoveryMillis is a gauge: duration of the last recovery.
+	StorageRecoveryMillis int64 `json:"storage_recovery_ms"`
+	// StorageManifestRecords is a gauge: frames in the manifest log.
+	StorageManifestRecords     int64 `json:"storage_manifest_records"`
+	StorageManifestCompactions int64 `json:"storage_manifest_compactions"`
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each field
@@ -207,5 +284,14 @@ func (c *Counters) Snapshot() CounterSnapshot {
 
 		WALRecords:  c.walRecords.Load(),
 		WALReplayed: c.walReplayed.Load(),
+
+		StorageSegmentsPersisted:   c.storageSegmentsPersisted.Load(),
+		StorageTablesRecovered:     c.storageTablesRecovered.Load(),
+		StorageIndexesRecovered:    c.storageIndexesRecovered.Load(),
+		StorageSegmentsRecovered:   c.storageSegmentsRecovered.Load(),
+		StorageMappedBytes:         c.storageMappedBytes.Load(),
+		StorageRecoveryMillis:      c.storageRecoveryMillis.Load(),
+		StorageManifestRecords:     c.storageManifestRecords.Load(),
+		StorageManifestCompactions: c.storageManifestCompactions.Load(),
 	}
 }

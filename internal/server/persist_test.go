@@ -1,0 +1,167 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"supg/internal/dataset"
+	"supg/internal/index"
+	"supg/internal/randx"
+)
+
+// uploadBinary PUTs a dataset in the binary interchange format.
+func uploadBinary(t *testing.T, ts *httptest.Server, name string, d *dataset.Dataset) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := dataset.WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/datasets/"+name, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("binary upload: status %d", resp.StatusCode)
+	}
+}
+
+// TestServerKillRestartPersistRecovery is the service-level acceptance
+// test for the durable storage tier: query, kill, boot a fresh server
+// on the same persist dir WITHOUT re-uploading anything — recovery
+// re-registers the dataset, the first query adopts the persisted index
+// (zero proxy UDF calls, zero permutation sorts), labels replay from
+// the co-located WAL (zero re-buys), and the answer is byte-identical.
+func TestServerKillRestartPersistRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d := dataset.Beta(randx.New(1), 20000, 0.01, 2)
+	opts := Options{
+		PersistDir:   dir,
+		LabelWALPath: filepath.Join(dir, "labels.wal"),
+	}
+
+	s1, err := Open(7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.RegisterDataset("beta", d)
+	ts1 := httptest.NewServer(s1)
+	resp, body := postSQL(t, ts1, resilienceRT)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold query: %d (%s)", resp.StatusCode, body)
+	}
+	var cold QueryResponse
+	json.Unmarshal(body, &cold)
+	if cold.IndexRecovered || cold.ProxyCalls != d.Len() {
+		t.Fatalf("cold query did not build: %+v", cold)
+	}
+	ts1.Close()
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh server, same directory, NO RegisterDataset: the storage tier
+	// must re-offer the recovered table on its own.
+	sortsBefore := index.BuildSortsTotal()
+	s2, err := Open(7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown(context.Background())
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+
+	if !s2.HasDataset("beta") {
+		t.Fatal("restarted server did not auto-register the recovered dataset")
+	}
+	info, ok := s2.Engine().RecoveryInfo()
+	if !ok || info.Tables != 1 || info.Indexes != 1 || len(info.Degraded) != 0 {
+		t.Fatalf("recovery info: %+v, %v", info, ok)
+	}
+
+	resp, body = postSQL(t, ts2, resilienceRT)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm query: %d (%s)", resp.StatusCode, body)
+	}
+	var warm QueryResponse
+	json.Unmarshal(body, &warm)
+	if !warm.IndexRecovered {
+		t.Fatalf("warm query did not adopt the persisted index: %+v", warm)
+	}
+	if warm.ProxyCalls != 0 {
+		t.Fatalf("restart re-ran the proxy %d times, want 0", warm.ProxyCalls)
+	}
+	if sorts := index.BuildSortsTotal() - sortsBefore; sorts != 0 {
+		t.Fatalf("restart performed %d permutation sorts, want 0", sorts)
+	}
+	if warm.Returned != cold.Returned || warm.OracleCalls != cold.OracleCalls {
+		t.Fatalf("post-restart result diverged: %+v vs %+v", warm, cold)
+	}
+	if (warm.Tau == nil) != (cold.Tau == nil) || (warm.Tau != nil && *warm.Tau != *cold.Tau) {
+		t.Fatalf("tau diverged: %v vs %v", warm.Tau, cold.Tau)
+	}
+	if warm.LabelCacheHits != warm.OracleCalls {
+		t.Fatalf("warm run re-bought labels: %d hits vs %d calls", warm.LabelCacheHits, warm.OracleCalls)
+	}
+
+	// The stats surface reports the recovery.
+	r, err := http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	json.NewDecoder(r.Body).Decode(&stats)
+	r.Body.Close()
+	if stats["storage_tables_recovered"].(float64) != 1 || stats["storage_indexes_recovered"].(float64) != 1 {
+		t.Fatalf("stats missing recovery counters: %v", stats)
+	}
+	if stats["storage_segments_recovered"].(float64) == 0 {
+		t.Fatal("stats report zero recovered segments")
+	}
+}
+
+// TestServerPersistUploadSurvivesRestart: a dataset uploaded over HTTP
+// (binary interchange) is durable — the restarted server serves it
+// without any re-upload, and a second upload of different content
+// replaces it durably.
+func TestServerPersistUploadSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{PersistDir: dir}
+	d := dataset.Beta(randx.New(2), 5000, 0.05, 2)
+
+	s1, err := Open(7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1)
+	uploadBinary(t, ts1, "up", d)
+	ts1.Close()
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown(context.Background())
+	got := s2.Dataset("up")
+	if got == nil || got.Len() != d.Len() {
+		t.Fatalf("uploaded dataset not recovered: %v", got)
+	}
+	for i := 0; i < d.Len(); i++ {
+		if got.Score(i) != d.Score(i) || got.TrueLabel(i) != d.TrueLabel(i) {
+			t.Fatalf("recovered record %d diverged", i)
+		}
+	}
+}

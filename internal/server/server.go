@@ -88,6 +88,19 @@ type Options struct {
 	// half-opening for a probe (0 = 1s). Also the Retry-After hint on
 	// 503 responses.
 	BreakerCooldown time.Duration
+	// PersistDir, when non-empty, enables the engine's durable storage
+	// tier: datasets and built score indexes are flushed there and
+	// recovered on Open with zero proxy calls and zero re-sorts, and
+	// recovered datasets are re-registered automatically (with
+	// OracleLatency wrapping, exactly like a preload). See
+	// engine.Options.PersistDir.
+	PersistDir string
+	// PersistMadvise optionally hints mapped-file residency ("normal",
+	// "random", "sequential", "willneed"; empty = no hint).
+	PersistMadvise string
+	// PersistNoMmap forces heap loads of persisted files (testing and
+	// portability escape hatch).
+	PersistNoMmap bool
 }
 
 // defaultMaxBodyBytes caps uploads at 64 MiB unless overridden.
@@ -168,6 +181,9 @@ func Open(seed uint64, opts Options) (*Server, error) {
 		OracleBackoff:     opts.OracleBackoff,
 		BreakerThreshold:  opts.BreakerThreshold,
 		BreakerCooldown:   opts.BreakerCooldown,
+		PersistDir:        opts.PersistDir,
+		PersistNoMmap:     opts.PersistNoMmap,
+		PersistMadvise:    opts.PersistMadvise,
 	})
 	if err != nil {
 		return nil, err
@@ -185,6 +201,13 @@ func Open(seed uint64, opts Options) (*Server, error) {
 	// WAL records/replays), and breaker/retry/timeout activity likewise.
 	s.engine.LabelStore().WithCounters(s.counters)
 	s.engine.WithCounters(s.counters)
+	// Re-register every dataset the storage tier recovered, before any
+	// request can arrive. Registration passes the recovered dataset
+	// pointer back, so the engine adopts the on-disk state (and its
+	// staged indexes) instead of rewriting it.
+	for _, d := range eng.RecoveredDatasets() {
+		s.RegisterDataset(d.Name(), d)
+	}
 	s.manager = jobs.NewManager(s.runJob, jobs.Config{
 		Workers:    opts.Workers,
 		QueueDepth: opts.JobQueueDepth,
@@ -243,6 +266,19 @@ func (s *Server) RegisterDataset(name string, d *dataset.Dataset) {
 	}
 	s.summaries[name] = d.Summarize()
 	s.datasets[name] = d
+}
+
+// HasDataset reports whether a dataset is registered under name —
+// via preload, upload, or storage-tier recovery.
+func (s *Server) HasDataset(name string) bool {
+	return s.Dataset(name) != nil
+}
+
+// Dataset returns the dataset registered under name (nil when absent).
+func (s *Server) Dataset(name string) *dataset.Dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.datasets[name]
 }
 
 // RegisterProxy adds an extra proxy UDF to the underlying engine so
@@ -350,7 +386,9 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		err error
 	)
 	if r.Header.Get("Content-Type") == "application/octet-stream" {
-		d, err = dataset.ReadBinary(r.Body, name)
+		// Content-Length (when present and exact) lets the decoder
+		// allocate the columns once at full size instead of growing.
+		d, err = dataset.ReadBinarySized(r.Body, name, r.ContentLength)
 	} else {
 		d, err = dataset.ReadCSV(r.Body, name)
 	}
@@ -429,6 +467,10 @@ type QueryResponse struct {
 	Tau         *float64 `json:"tau"`
 	OracleCalls int      `json:"oracle_calls"`
 	ProxyCalls  int      `json:"proxy_calls"`
+	// IndexRecovered reports that this query adopted its score index
+	// from the durable storage tier (first query of the pair after a
+	// restart; zero sorts, zero proxy calls unless the table grew).
+	IndexRecovered bool `json:"index_recovered,omitempty"`
 	// LabelCacheHits counts labels served from the cross-query label
 	// store instead of the oracle UDF (included in oracle_calls unless
 	// the query ran with free reuse).
@@ -564,6 +606,7 @@ func (s *Server) buildQueryResponse(req QueryRequest, res *engine.QueryResult) Q
 		Returned:             len(res.Indices),
 		OracleCalls:          res.OracleCalls,
 		ProxyCalls:           res.ProxyCalls,
+		IndexRecovered:       res.IndexRecovered,
 		LabelCacheHits:       res.LabelCacheHits,
 		Fusion:               res.Fusion,
 		CalibrationCalls:     res.CalibrationCalls,

@@ -1,0 +1,84 @@
+package storage
+
+import (
+	"testing"
+
+	"supg/internal/dataset"
+	"supg/internal/index"
+	"supg/internal/randx"
+)
+
+// BenchmarkStorageBoot prices the two ways a server can come up with a
+// warm index over an n=10^6 table. Run with:
+//
+//	go test ./internal/storage -bench StorageBoot -benchmem -run '^$'
+//
+// "recover" is the durable-storage path: Open replays the manifest,
+// CRC-verifies every file, mmaps the column and segment permutations,
+// and hands back a ready index after an O(n) ascent check — zero proxy
+// UDF calls, zero sorts. "rebuild" is the only alternative without the
+// storage tier: re-invoke the proxy for all n records and re-sort every
+// segment. The proxy here is a trivial slice lookup, so the rebuild
+// number is its floor — any real model inference widens the gap by
+// orders of magnitude, which is exactly the cost the paper's setting
+// makes unaffordable to pay twice.
+const benchBootN = 1_000_000
+
+func BenchmarkStorageBoot(b *testing.B) {
+	d := dataset.Beta(randx.New(99), benchBootN, 0.01, 2)
+	ixOpts := index.Options{SegmentSize: 128 << 10}
+	dir := b.TempDir()
+	seed, err := Open(Options{Dir: dir, Index: ixOpts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.SaveDataset("t", d); err != nil {
+		b.Fatal(err)
+	}
+	ix, err := index.NewWithOptions(d.Scores(), ixOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta := IndexMeta{Table: "t", Source: "p", Fusion: "none", Proxies: []string{"p"}}
+	if err := seed.SaveIndex(meta, ix, seed.Epoch("t")); err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("recover", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := Open(Options{Dir: dir, Index: ixOpts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec := s.RecoveredIndexes()
+			if len(rec) != 1 || rec[0].Index.Len() != benchBootN {
+				b.Fatalf("recovery incomplete: %d indexes", len(rec))
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("rebuild", func(b *testing.B) {
+		proxy := func(i int) float64 { return d.Score(i) }
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scores := make([]float64, benchBootN)
+			for j := range scores {
+				scores[j] = proxy(j)
+			}
+			ix, err := index.NewWithOptions(scores, ixOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ix.Len() != benchBootN {
+				b.Fatal("bad rebuild")
+			}
+		}
+	})
+}
