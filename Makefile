@@ -4,7 +4,16 @@ GO ?= go
 # drops below it. Raise it when coverage durably improves.
 COVER_FLOOR ?= 79.1
 
-.PHONY: all build test test-race vet fmt-check bench bench-labelstore bench-multiproxy bench-storage cover cover-check fuzz-smoke chaos-smoke
+# Reduced benchmark scale for the CI bench smoke (SUPG_BENCH_N): big
+# enough to be multi-segment-capable and alloc-stable, small enough to
+# finish in seconds.
+SMOKE_N ?= 65536
+
+# The hot-path trajectory battery (see bench-json / bench-check).
+BENCH_HOTPATH_ENGINE = SelectHotPath$$|SelectHotPathQuantized$$
+BENCH_HOTPATH_INDEX = PermScan|IndexBuildQuantized|IndexAppend
+
+.PHONY: all build test test-race vet fmt-check bench bench-json bench-check bench-labelstore bench-multiproxy bench-storage cover cover-check fuzz-smoke chaos-smoke
 
 all: build vet test
 
@@ -47,7 +56,10 @@ cover-check: cover
 # manifest replayer and the column/segment/dataset file parsers
 # arbitrary bytes: any input must yield a clean error or a view that
 # agrees with its declared counts — never a panic, never an
-# out-of-bounds replay.
+# out-of-bounds replay. FuzzQuantizedEquivalence throws boundary-heavy
+# columns and thresholds at the 16-bit quantized index and requires
+# bit-identical results against the float index (committed seed corpus
+# in internal/index/testdata).
 fuzz-smoke:
 	$(GO) test ./internal/dataset -run '^$$' -fuzz '^FuzzLoadCSV$$' -fuzztime 10s
 	$(GO) test ./internal/dataset -run '^$$' -fuzz '^FuzzLoadBinary$$' -fuzztime 10s
@@ -56,6 +68,7 @@ fuzz-smoke:
 	$(GO) test ./internal/storage -run '^$$' -fuzz '^FuzzColumnFile$$' -fuzztime 10s
 	$(GO) test ./internal/storage -run '^$$' -fuzz '^FuzzSegmentFile$$' -fuzztime 10s
 	$(GO) test ./internal/storage -run '^$$' -fuzz '^FuzzDatasetFile$$' -fuzztime 10s
+	$(GO) test ./internal/index -run '^$$' -fuzz '^FuzzQuantizedEquivalence$$' -fuzztime 10s
 
 # Fault-injection battery + crash durability: chaos equivalence
 # (byte-identical Indices/Tau/oracle_calls under 30% injected
@@ -73,6 +86,31 @@ bench:
 	$(GO) test ./internal/engine -bench SelectHotPath -benchmem -run '^$$'
 	$(GO) test ./internal/index -bench 'IndexBuild|IndexAppend' -benchmem -run '^$$'
 	$(GO) test . -bench . -run '^$$'
+
+# Records the hot-path benchmark battery — steady-state select (float
+# and quantized), the quantized permutation scan vs the float scan,
+# quantized index build, and incremental append — into
+# BENCH_hotpath.json, committed per PR: a "full" section at paper
+# scale (n=1e6) for the human-readable trajectory and a "smoke"
+# section at SMOKE_N that bench-check diffs in CI. ns/op is recorded
+# but never gated (noisy on shared VMs); allocs/op and bytes/op are.
+bench-json:
+	{ $(GO) test ./internal/engine -bench '$(BENCH_HOTPATH_ENGINE)' -benchmem -run '^$$' && \
+	  $(GO) test ./internal/index -bench '$(BENCH_HOTPATH_INDEX)' -benchmem -run '^$$'; } | \
+	  $(GO) run ./cmd/bench-gate emit -out BENCH_hotpath.json -section full -n 1000000 \
+	    -note "Hot-path trajectory: steady-state SUPG select (float vs 16-bit quantized index, byte-identical results), dense permutation scan traffic (scan-bytes/rec 8 vs 2), quantized build, and incremental append. ns/op recorded but not gated (noisy on shared VMs); CI gates allocs/op and bytes/op against the smoke section."
+	{ SUPG_BENCH_N=$(SMOKE_N) $(GO) test ./internal/engine -bench '$(BENCH_HOTPATH_ENGINE)' -benchmem -run '^$$' && \
+	  SUPG_BENCH_N=$(SMOKE_N) $(GO) test ./internal/index -bench '$(BENCH_HOTPATH_INDEX)' -benchmem -run '^$$'; } | \
+	  $(GO) run ./cmd/bench-gate emit -out BENCH_hotpath.json -section smoke -n $(SMOKE_N)
+
+# CI trajectory gate: re-run the smoke-scale battery and fail when
+# allocs/op or bytes/op regress beyond tolerance against the committed
+# BENCH_hotpath.json smoke section (or when a baselined benchmark
+# disappears). ns/op deltas are printed, never enforced.
+bench-check:
+	{ SUPG_BENCH_N=$(SMOKE_N) $(GO) test ./internal/engine -bench '$(BENCH_HOTPATH_ENGINE)' -benchmem -run '^$$' && \
+	  SUPG_BENCH_N=$(SMOKE_N) $(GO) test ./internal/index -bench '$(BENCH_HOTPATH_INDEX)' -benchmem -run '^$$'; } | \
+	  $(GO) run ./cmd/bench-gate check -baseline BENCH_hotpath.json -section smoke
 
 # Cross-query label store: cold vs warm oracle-call counts. The warm
 # benchmark reports warm-oracle-calls/op = 0 — a repeated identical

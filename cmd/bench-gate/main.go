@@ -1,0 +1,164 @@
+// Command bench-gate maintains BENCH_hotpath.json, the committed
+// benchmark trajectory, and enforces it in CI.
+//
+// Two modes, both reading `go test -bench -benchmem` output on stdin:
+//
+//	bench-gate emit -out BENCH_hotpath.json -section full -n 1000000
+//	    parse the stream and write it as one section of the JSON file,
+//	    preserving the file's other sections (so `make bench-json` can
+//	    record the full-scale and smoke-scale runs in two passes).
+//
+//	bench-gate check -baseline BENCH_hotpath.json -section smoke
+//	    parse the stream and compare it against the named committed
+//	    section: exit non-zero when allocs/op or bytes/op regress
+//	    beyond tolerance, or when a baselined benchmark is missing.
+//	    ns/op deltas are printed but never fail — wall time on shared
+//	    CI VMs is noise.
+//
+// See internal/benchtool for the parser and comparison rules.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"supg/internal/benchtool"
+)
+
+// trajectory is the BENCH_hotpath.json schema: environment metadata
+// plus one result section per scale.
+type trajectory struct {
+	Benchmark string    `json:"benchmark"`
+	Date      string    `json:"date"`
+	Goos      string    `json:"goos"`
+	Goarch    string    `json:"goarch"`
+	CPU       string    `json:"cpu"`
+	Note      string    `json:"note"`
+	Sections  []section `json:"sections"`
+}
+
+type section struct {
+	Name    string             `json:"name"`
+	N       int                `json:"n"`
+	Results []benchtool.Result `json:"results"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fatal("usage: bench-gate emit|check [flags] < bench-output")
+	}
+	mode, args := os.Args[1], os.Args[2:]
+	switch mode {
+	case "emit":
+		emit(args)
+	case "check":
+		check(args)
+	default:
+		fatal("bench-gate: unknown mode %q (want emit or check)", mode)
+	}
+}
+
+func fatal(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", a...)
+	os.Exit(1)
+}
+
+func emit(args []string) {
+	fs := flag.NewFlagSet("emit", flag.ExitOnError)
+	out := fs.String("out", "BENCH_hotpath.json", "trajectory file to update")
+	sec := fs.String("section", "full", "section name to (re)write")
+	n := fs.Int("n", 0, "benchmark scale recorded for the section")
+	note := fs.String("note", "", "note recorded at the top level (kept from the existing file when empty)")
+	fs.Parse(args)
+
+	run, err := benchtool.Parse(os.Stdin)
+	if err != nil {
+		fatal("bench-gate: %v", err)
+	}
+	if len(run.Results) == 0 {
+		fatal("bench-gate: no benchmark results on stdin")
+	}
+
+	tr := trajectory{Benchmark: "hot-path trajectory"}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &tr); err != nil {
+			fatal("bench-gate: existing %s is not valid JSON: %v", *out, err)
+		}
+	}
+	tr.Date = time.Now().UTC().Format("2006-01-02")
+	tr.Goos, tr.Goarch, tr.CPU = run.Goos, run.Goarch, run.CPU
+	if *note != "" {
+		tr.Note = *note
+	}
+	replaced := false
+	for i := range tr.Sections {
+		if tr.Sections[i].Name == *sec {
+			tr.Sections[i] = section{Name: *sec, N: *n, Results: run.Results}
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		tr.Sections = append(tr.Sections, section{Name: *sec, N: *n, Results: run.Results})
+	}
+
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		fatal("bench-gate: %v", err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal("bench-gate: %v", err)
+	}
+	fmt.Printf("bench-gate: wrote section %q (%d results) to %s\n", *sec, len(run.Results), *out)
+}
+
+func check(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	baseline := fs.String("baseline", "BENCH_hotpath.json", "committed trajectory file")
+	sec := fs.String("section", "smoke", "section to compare against")
+	allocRel := fs.Float64("alloc-rel", benchtool.DefaultAllocTolerance.Rel, "relative allocs/op tolerance")
+	allocAbs := fs.Float64("alloc-abs", benchtool.DefaultAllocTolerance.Abs, "absolute allocs/op slack")
+	bytesRel := fs.Float64("bytes-rel", benchtool.DefaultBytesTolerance.Rel, "relative bytes/op tolerance")
+	bytesAbs := fs.Float64("bytes-abs", benchtool.DefaultBytesTolerance.Abs, "absolute bytes/op slack")
+	fs.Parse(args)
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatal("bench-gate: %v", err)
+	}
+	var tr trajectory
+	if err := json.Unmarshal(data, &tr); err != nil {
+		fatal("bench-gate: parse %s: %v", *baseline, err)
+	}
+	var base *section
+	for i := range tr.Sections {
+		if tr.Sections[i].Name == *sec {
+			base = &tr.Sections[i]
+			break
+		}
+	}
+	if base == nil || len(base.Results) == 0 {
+		fatal("bench-gate: %s has no %q section to gate against", *baseline, *sec)
+	}
+
+	run, err := benchtool.Parse(os.Stdin)
+	if err != nil {
+		fatal("bench-gate: %v", err)
+	}
+	summary, failures := benchtool.Compare(base.Results, run,
+		benchtool.Tolerance{Rel: *allocRel, Abs: *allocAbs},
+		benchtool.Tolerance{Rel: *bytesRel, Abs: *bytesAbs})
+	for _, line := range summary {
+		fmt.Println(line)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL: "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("bench-gate: %d benchmarks within tolerance of %s section %q\n", len(base.Results), *baseline, *sec)
+}

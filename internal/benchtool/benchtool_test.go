@@ -1,0 +1,137 @@
+package benchtool
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: supg/internal/engine
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSelectHotPath-8   	      55	  21210042 ns/op	   35112 B/op	      35 allocs/op
+PASS
+ok  	supg/internal/engine	2.1s
+goos: linux
+goarch: amd64
+pkg: supg/internal/index
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPermScan/float-8        	     222	   5012345 ns/op	 8000064 resident-bytes	       8 scan-bytes/rec	       0 B/op	       0 allocs/op
+BenchmarkPermScan/quantized-8    	     444	   2512345 ns/op	10500064 resident-bytes	       2 scan-bytes/rec	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	run, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Goos != "linux" || run.Goarch != "amd64" || !strings.Contains(run.CPU, "Xeon") {
+		t.Fatalf("bad header: %+v", run)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(run.Results))
+	}
+	hot := run.Results[0]
+	if hot.Name != "supg/internal/engine:BenchmarkSelectHotPath" {
+		t.Fatalf("name %q not package-qualified and GOMAXPROCS-stripped", hot.Name)
+	}
+	if hot.Iterations != 55 || hot.NsPerOp != 21210042 || hot.BytesPerOp != 35112 || hot.AllocsPerOp != 35 {
+		t.Fatalf("bad hot-path result: %+v", hot)
+	}
+	quant := run.Results[2]
+	if quant.Name != "supg/internal/index:BenchmarkPermScan/quantized" {
+		t.Fatalf("bad sub-benchmark name %q", quant.Name)
+	}
+	if quant.Metrics["scan-bytes/rec"] != 2 || quant.Metrics["resident-bytes"] != 10500064 {
+		t.Fatalf("custom metrics not captured: %+v", quant.Metrics)
+	}
+	// The same benchmark name in two packages must not collide.
+	if run.Results[0].Name == run.Results[1].Name {
+		t.Fatal("package qualification failed to disambiguate")
+	}
+}
+
+func TestParseRejectsMalformedBenchmarkLine(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkBroken-8 notanumber ns/op\n")); err == nil {
+		t.Fatal("malformed benchmark line parsed without error")
+	}
+}
+
+func baselineResults() []Result {
+	return []Result{
+		{Name: "p:BenchmarkSelectHotPath", NsPerOp: 21000000, BytesPerOp: 35000, AllocsPerOp: 35},
+		{Name: "p:BenchmarkPermScan/quantized", NsPerOp: 2500000, BytesPerOp: 0, AllocsPerOp: 0},
+	}
+}
+
+// TestCompareFailsSyntheticAllocRegression pins the gate's purpose: a
+// run whose allocs/op grew past tolerance must fail, even when every
+// other metric improved.
+func TestCompareFailsSyntheticAllocRegression(t *testing.T) {
+	cand := Run{Results: []Result{
+		{Name: "p:BenchmarkSelectHotPath", NsPerOp: 15000000, BytesPerOp: 35000, AllocsPerOp: 70},
+		{Name: "p:BenchmarkPermScan/quantized", NsPerOp: 2500000, BytesPerOp: 0, AllocsPerOp: 0},
+	}}
+	_, failures := Compare(baselineResults(), cand, DefaultAllocTolerance, DefaultBytesTolerance)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op regressed 35 -> 70") {
+		t.Fatalf("synthetic allocs/op regression not caught: %v", failures)
+	}
+}
+
+func TestCompareFailsSyntheticBytesRegression(t *testing.T) {
+	cand := Run{Results: []Result{
+		{Name: "p:BenchmarkSelectHotPath", NsPerOp: 21000000, BytesPerOp: 70000, AllocsPerOp: 35},
+		{Name: "p:BenchmarkPermScan/quantized", NsPerOp: 2500000, BytesPerOp: 0, AllocsPerOp: 0},
+	}}
+	_, failures := Compare(baselineResults(), cand, DefaultAllocTolerance, DefaultBytesTolerance)
+	if len(failures) != 1 || !strings.Contains(failures[0], "B/op regressed") {
+		t.Fatalf("synthetic bytes/op regression not caught: %v", failures)
+	}
+}
+
+func TestCompareIgnoresNsRegression(t *testing.T) {
+	cand := Run{Results: []Result{
+		{Name: "p:BenchmarkSelectHotPath", NsPerOp: 210000000, BytesPerOp: 35000, AllocsPerOp: 35},
+		{Name: "p:BenchmarkPermScan/quantized", NsPerOp: 250000000, BytesPerOp: 0, AllocsPerOp: 0},
+	}}
+	summary, failures := Compare(baselineResults(), cand, DefaultAllocTolerance, DefaultBytesTolerance)
+	if len(failures) != 0 {
+		t.Fatalf("ns/op must not gate, got failures: %v", failures)
+	}
+	if len(summary) != 2 || !strings.Contains(summary[0], "not gated") {
+		t.Fatalf("summary should still report ns/op: %v", summary)
+	}
+}
+
+func TestCompareFailsMissingBenchmark(t *testing.T) {
+	cand := Run{Results: []Result{
+		{Name: "p:BenchmarkSelectHotPath", NsPerOp: 21000000, BytesPerOp: 35000, AllocsPerOp: 35},
+	}}
+	_, failures := Compare(baselineResults(), cand, DefaultAllocTolerance, DefaultBytesTolerance)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("missing baselined benchmark must fail the gate: %v", failures)
+	}
+}
+
+func TestComparePassesWithinTolerance(t *testing.T) {
+	cand := Run{Results: []Result{
+		{Name: "p:BenchmarkSelectHotPath", NsPerOp: 22000000, BytesPerOp: 35900, AllocsPerOp: 37},
+		{Name: "p:BenchmarkPermScan/quantized", NsPerOp: 2600000, BytesPerOp: 16, AllocsPerOp: 1},
+	}}
+	_, failures := Compare(baselineResults(), cand, DefaultAllocTolerance, DefaultBytesTolerance)
+	if len(failures) != 0 {
+		t.Fatalf("in-tolerance run failed: %v", failures)
+	}
+}
+
+func TestNEnvOverride(t *testing.T) {
+	t.Setenv("SUPG_BENCH_N", "4096")
+	if got := N(1_000_000); got != 4096 {
+		t.Fatalf("N = %d with SUPG_BENCH_N=4096", got)
+	}
+	t.Setenv("SUPG_BENCH_N", "not-a-number")
+	if got := N(1_000_000); got != 1_000_000 {
+		t.Fatalf("N = %d with garbage SUPG_BENCH_N, want default", got)
+	}
+}

@@ -93,6 +93,22 @@ func TestSelectSegmentedMatchesMonolithic(t *testing.T) {
 						t.Fatalf("n=%d segSize=%d %s/%v: %v", tbl.n, segSize, name, kind, err)
 					}
 					assertResultsEqual(t, labelFor(tbl.n, segSize, name, kind), want, got)
+					// The 16-bit quantized index must be invisible too:
+					// byte-identical Indices/Tau/OracleCalls against the
+					// float monolithic baseline at every segment size and
+					// estimator family.
+					quant, err := index.NewWithOptions(d.Scores(), index.Options{SegmentSize: segSize, Parallelism: 4, Quantize: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !quant.Quantized() {
+						t.Fatalf("n=%d segSize=%d: Quantize option ignored", tbl.n, segSize)
+					}
+					qgot, err := SelectFrom(randx.New(seed), quant, oracle.NewSimulated(d), spec, cfg)
+					if err != nil {
+						t.Fatalf("n=%d segSize=%d %s/%v quantized: %v", tbl.n, segSize, name, kind, err)
+					}
+					assertResultsEqual(t, labelFor(tbl.n, segSize, name, kind)+"/quantized", want, qgot)
 				}
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"supg/internal/benchtool"
 	"supg/internal/core"
 	"supg/internal/dataset"
 	"supg/internal/oracle"
@@ -22,10 +23,12 @@ import (
 // build, map-based assembly) for comparison. Run with:
 //
 //	go test ./internal/engine -bench SelectHotPath -benchmem
-const (
-	benchN      = 1_000_000
-	benchBudget = 1000
-)
+//
+// benchN scales down via SUPG_BENCH_N (the Makefile's bench smoke uses
+// a reduced n so the CI trajectory gate diffs like against like).
+var benchN = benchtool.N(1_000_000)
+
+const benchBudget = 1000
 
 func benchDataset(b *testing.B) *dataset.Dataset {
 	b.Helper()
@@ -59,6 +62,30 @@ func BenchmarkSelectHotPath(b *testing.B) {
 	e.RegisterDatasetDefaults("video", d)
 	plan := benchPlan(b)
 	// Warm the index so the steady state is measured.
+	if _, err := e.ExecutePlan(plan); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.ExecutePlan(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.IndexBuilt {
+			b.Fatal("steady state rebuilt the index")
+		}
+	}
+}
+
+// BenchmarkSelectHotPathQuantized is BenchmarkSelectHotPath over a
+// quantized index (engine Options.Quantize): identical query results,
+// scans over 2-byte codes instead of 8-byte floats.
+func BenchmarkSelectHotPathQuantized(b *testing.B) {
+	d := benchDataset(b)
+	e := NewWithOptions(42, Options{Quantize: true})
+	e.RegisterDatasetDefaults("video", d)
+	plan := benchPlan(b)
 	if _, err := e.ExecutePlan(plan); err != nil {
 		b.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"supg/internal/benchtool"
 	"supg/internal/randx"
 )
 
@@ -17,7 +18,9 @@ import (
 // par=1 by >= 2x at n = 10^6 (segments sort independently); on a
 // single-core runner the variants converge, but the segmented sort is
 // still O(n log S) work versus the monolithic O(n log n).
-const benchBuildN = 1_000_000
+//
+// benchBuildN scales down via SUPG_BENCH_N for the CI bench smoke.
+var benchBuildN = benchtool.N(1_000_000)
 
 func benchScores(n int) []float64 {
 	r := randx.New(1701)
@@ -56,6 +59,58 @@ func BenchmarkIndexBuild(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPermScan prices the dense AppendAtLeast scan — the paper's
+// "extract everything above tau" step at an unselective threshold,
+// which walks every record — on the float column versus the 16-bit
+// code vector. The quantized variant reads 2 bytes per record instead
+// of 8 (reported as scan-bytes/rec, the >= 3x traffic cut BENCH_
+// hotpath.json records); both emit identical ids, and neither
+// allocates (dst capacity is reused).
+func BenchmarkPermScan(b *testing.B) {
+	scores := benchScores(benchBuildN)
+	const tau = 0.25 // ~75% of a uniform column matches: the dense path
+	for _, quantize := range []bool{false, true} {
+		name := "float"
+		if quantize {
+			name = "quantized"
+		}
+		b.Run(name, func(b *testing.B) {
+			ix, err := NewWithOptions(scores, Options{Quantize: quantize})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst := make([]int, 0, ix.CountAtLeast(tau))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = ix.AppendAtLeast(dst[:0], tau)
+				if len(dst) == 0 {
+					b.Fatal("no matches")
+				}
+			}
+			// After ResetTimer: it clears previously reported metrics.
+			b.ReportMetric(float64(ix.ResidentBytes()), "resident-bytes")
+			b.ReportMetric(float64(ix.ScanBytesPerRecord()), "scan-bytes/rec")
+		})
+	}
+}
+
+// BenchmarkIndexBuildQuantized prices quantized index construction
+// (the extra cost is one linear pass building both code vectors).
+func BenchmarkIndexBuildQuantized(b *testing.B) {
+	scores := benchScores(benchBuildN)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix, err := NewWithOptions(scores, Options{SegmentSize: 128 << 10, Parallelism: 1, Quantize: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ix.Len() != benchBuildN {
+			b.Fatal("bad build")
+		}
+	}
 }
 
 // BenchmarkIndexAppend prices appending one 256k-record segment to an

@@ -47,6 +47,18 @@
 //     random stream identically to the monolithic path. Per-segment
 //     cumulative weight masses are exposed for observability.
 //
+// # Quantized codes
+//
+// With Options.Quantize, each segment additionally carries a 16-bit
+// bucket code per record (floor(score·65536), clamped). The code map
+// is monotone, so a strict code inequality decides the exact score
+// inequality and only the threshold's own bucket — resolved with the
+// same float comparisons, in the same order, as the unquantized path —
+// ever consults the 8-byte column. Scans and merge comparisons walk 2
+// bytes per record instead of 8 while every operation stays
+// bit-identical to the float index; see quantize.go for the invariant
+// and the skew guard on dense scans.
+//
 // # Incremental append
 //
 // Append extends an index with newly appended records without
@@ -67,7 +79,6 @@ import (
 	"math"
 	"runtime"
 	"slices"
-	"sort"
 	"sync"
 
 	"supg/internal/sampling"
@@ -89,6 +100,13 @@ type Options struct {
 	// Parallelism bounds the number of segments built concurrently.
 	// <= 0 selects GOMAXPROCS.
 	Parallelism int
+	// Quantize additionally stores a 16-bit bucket code per record and
+	// runs scans and binary searches over the 2-byte codes, consulting
+	// the exact floats only inside the boundary bucket (see quantize.go).
+	// Results are byte-identical to an unquantized index; the option
+	// trades ~4 extra bits per record of resident memory for ~4x less
+	// scan traffic.
+	Quantize bool
 }
 
 func (o Options) withDefaults() Options {
@@ -125,11 +143,15 @@ type segment struct {
 	scores []float64 // sub-column, record order (aliases the global column)
 	perm   []int     // local ids ascending by (score, local id)
 	sorted []float64 // scores[perm[i]] — ascending
+	// codes / qsorted are the 16-bit quantized views of scores / sorted
+	// (nil on unquantized segments). See quantize.go.
+	codes   []uint16
+	qsorted []uint16
 }
 
 // countAtLeast returns the segment's |{x : A(x) >= tau}| in O(log S).
 func (s *segment) countAtLeast(tau float64) int {
-	return len(s.sorted) - sort.SearchFloat64s(s.sorted, tau)
+	return len(s.sorted) - s.cutAtLeast(tau)
 }
 
 // appendAtLeast appends the segment's global record ids with score >=
@@ -139,7 +161,7 @@ func (s *segment) countAtLeast(tau float64) int {
 // is cheaper than the sort and emits ids already ordered.
 func (s *segment) appendAtLeast(dst []int, tau float64) []int {
 	n := len(s.sorted)
-	cut := sort.SearchFloat64s(s.sorted, tau)
+	cut := s.cutAtLeast(tau)
 	k := n - cut
 	if k == 0 {
 		return dst
@@ -151,6 +173,26 @@ func (s *segment) appendAtLeast(dst []int, tau float64) []int {
 		}
 		slices.Sort(dst[start:])
 		return dst
+	}
+	if s.codes != nil && tau > 0 && tau <= 1 {
+		ct := quantizeScore(tau)
+		if lo, hi := s.codeBucket(ct); hi-lo <= n/8 {
+			// Quantized dense scan: 2 bytes per record, floats touched
+			// only in the boundary bucket. Strict code inequalities
+			// decide exact score inequalities (monotone map), so the
+			// emitted id set — and its record order — equals the float
+			// scan's. Guarded on the bucket population: a skewed column
+			// can concentrate in one bucket (e.g. Beta(0.01, 2) puts
+			// ~90% of records in bucket 0), and a dominant boundary
+			// bucket would make this path read both vectors — the float
+			// scan below is cheaper there.
+			for i, c := range s.codes {
+				if c > ct || (c == ct && s.scores[i] >= tau) {
+					dst = append(dst, s.base+i)
+				}
+			}
+			return dst
+		}
 	}
 	for i, sc := range s.scores {
 		if sc >= tau {
@@ -168,6 +210,7 @@ type ScoreIndex struct {
 	segs    []*segment
 	segSize int
 	par     int
+	quant   bool // segments carry 16-bit score codes (Options.Quantize)
 	// backing pins externally-owned memory (a mapped file) the column
 	// and segment slices alias; nil for heap-built indexes. See
 	// FromExternal.
@@ -207,6 +250,7 @@ func NewWithOptions(scores []float64, opts Options) (*ScoreIndex, error) {
 		segs:     segs,
 		segSize:  opts.SegmentSize,
 		par:      opts.Parallelism,
+		quant:    opts.Quantize,
 		mixtures: make(map[MixtureKey]*mixture),
 	}, nil
 }
@@ -225,7 +269,7 @@ func (ix *ScoreIndex) Append(extra []float64) (*ScoreIndex, error) {
 	own := make([]float64, old+len(extra))
 	copy(own, ix.scores)
 	copy(own[old:], extra)
-	opts := Options{SegmentSize: ix.segSize, Parallelism: ix.par}
+	opts := Options{SegmentSize: ix.segSize, Parallelism: ix.par, Quantize: ix.quant}
 	fresh, err := buildSegments(own, old, opts)
 	if err != nil {
 		return nil, err
@@ -233,12 +277,15 @@ func (ix *ScoreIndex) Append(extra []float64) (*ScoreIndex, error) {
 	segs := make([]*segment, 0, len(ix.segs)+len(fresh))
 	for _, s := range ix.segs {
 		// Re-point the sub-column into the new backing array (values are
-		// bit-identical); perm and sorted are local and shared as-is.
+		// bit-identical); perm, sorted, and the code vectors are local and
+		// shared as-is — codes are per-segment, so nothing rebases.
 		segs = append(segs, &segment{
-			base:   s.base,
-			scores: own[s.base : s.base+len(s.scores)],
-			perm:   s.perm,
-			sorted: s.sorted,
+			base:    s.base,
+			scores:  own[s.base : s.base+len(s.scores)],
+			perm:    s.perm,
+			sorted:  s.sorted,
+			codes:   s.codes,
+			qsorted: s.qsorted,
 		})
 	}
 	segs = append(segs, fresh...)
@@ -247,6 +294,7 @@ func (ix *ScoreIndex) Append(extra []float64) (*ScoreIndex, error) {
 		segs:    segs,
 		segSize: ix.segSize,
 		par:     ix.par,
+		quant:   ix.quant,
 		// Old segments share their perm/sorted slices, which may alias
 		// externally-owned memory — keep it pinned.
 		backing:  ix.backing,
@@ -290,7 +338,7 @@ func buildSegments(column []float64, start int, opts Options) ([]*segment, error
 				if end > len(column) {
 					end = len(column)
 				}
-				segs[j], errAt[j], errs[j] = buildSegment(column, base, end)
+				segs[j], errAt[j], errs[j] = buildSegment(column, base, end, opts.Quantize)
 			}
 		}()
 	}
@@ -309,9 +357,10 @@ func buildSegments(column []float64, start int, opts Options) ([]*segment, error
 }
 
 // buildSegment validates column[base:end] and builds its sorted
-// permutation. The returned int is the global id of the offending
-// record when validation fails.
-func buildSegment(column []float64, base, end int) (*segment, int, error) {
+// permutation (plus, when quantize is set, the 16-bit code vectors).
+// The returned int is the global id of the offending record when
+// validation fails.
+func buildSegment(column []float64, base, end int, quantize bool) (*segment, int, error) {
 	sub := column[base:end]
 	for i, s := range sub {
 		if s < 0 || s > 1 || s != s {
@@ -351,7 +400,15 @@ func buildSegment(column []float64, base, end int) (*segment, int, error) {
 	for i, p := range perm {
 		sorted[i] = sub[p]
 	}
-	return &segment{base: base, scores: sub, perm: perm, sorted: sorted}, 0, nil
+	seg := &segment{base: base, scores: sub, perm: perm, sorted: sorted}
+	if quantize {
+		// Quantize AFTER the validation loop above so the codes are built
+		// from the normalized sub-column (-0.0 already rewritten to +0.0),
+		// never from the caller's raw values.
+		seg.codes = quantizeSub(sub)
+		seg.qsorted = permuteCodes(seg.codes, perm)
+	}
+	return seg, 0, nil
 }
 
 // Len returns the number of records.
@@ -437,10 +494,20 @@ type mergeHeap []segCursor
 
 func (h mergeHeap) Len() int { return len(h) }
 func (h mergeHeap) Less(a, b int) bool {
-	if h[a].score() != h[b].score() {
-		return h[a].score() < h[b].score()
+	ca, cb := h[a], h[b]
+	// On a quantized index, a strict 2-byte code inequality decides the
+	// exact score comparison (monotone map); only code-equal cursors —
+	// one bucket in 65536 — touch the 8-byte sorted runs. The resulting
+	// order is identical either way.
+	if qa, qb := ca.seg.qsorted, cb.seg.qsorted; qa != nil && qb != nil {
+		if x, y := qa[ca.pos], qb[cb.pos]; x != y {
+			return x < y
+		}
 	}
-	return h[a].id() < h[b].id()
+	if ca.score() != cb.score() {
+		return ca.score() < cb.score()
+	}
+	return ca.id() < cb.id()
 }
 func (h mergeHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
 func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(segCursor)) }

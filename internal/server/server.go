@@ -55,6 +55,11 @@ type Options struct {
 	// IndexBuildParallelism bounds concurrent segment builds per index
 	// (default GOMAXPROCS).
 	IndexBuildParallelism int
+	// QuantizeIndex builds score indexes with 16-bit quantized score
+	// codes: byte-identical results, ~4x less scan memory traffic, code
+	// vectors persisted alongside segments when PersistDir is set. See
+	// engine.Options.Quantize.
+	QuantizeIndex bool
 	// LabelCacheBytes bounds the cross-query oracle label store shared
 	// by every query and job (default 64 MiB; negative disables label
 	// reuse). In the default charged mode the store changes only the
@@ -172,6 +177,7 @@ func Open(seed uint64, opts Options) (*Server, error) {
 	eng, err := engine.Open(seed, engine.Options{
 		SegmentSize:       opts.SegmentSize,
 		BuildParallelism:  opts.IndexBuildParallelism,
+		Quantize:          opts.QuantizeIndex,
 		LabelCacheBytes:   opts.LabelCacheBytes,
 		LabelCacheShards:  opts.LabelCacheShards,
 		LabelWALPath:      opts.LabelWALPath,

@@ -26,6 +26,12 @@ import (
 //	               fusion kind, calibration oracle)
 //	recDropTable — tombstone: the table and all its indexes are gone
 //	recDropIndex — tombstone for one (table, score source) index
+//	recIndexQ    — recIndex for a quantized index: each segment entry
+//	               additionally names its .qcv code-vector file with CRC
+//	               and size. A distinct type (not new recIndex fields)
+//	               keeps the recIndex encoding byte-identical, so
+//	               manifests written before quantization existed replay
+//	               unchanged.
 //
 // Data files referenced by a record are fully written, fsynced, and
 // renamed into place BEFORE the record is appended, so a record in the
@@ -39,6 +45,7 @@ const (
 	recIndex     byte = 2
 	recDropTable byte = 3
 	recDropIndex byte = 4
+	recIndexQ    byte = 5
 
 	manifestName = "MANIFEST"
 
@@ -62,13 +69,19 @@ type datasetRec struct {
 	size    int64
 }
 
-// segRec describes one persisted segment file of an index.
+// segRec describes one persisted segment file of an index, plus — on
+// quantized indexes only — its .qcv code-vector sibling (codeFile ==
+// "" otherwise).
 type segRec struct {
 	file  string
 	base  int
 	count int
 	crc   uint32
 	size  int64
+
+	codeFile string
+	codeCRC  uint32
+	codeSize int64
 }
 
 // indexRec describes a persisted segmented index and its provenance.
@@ -83,6 +96,7 @@ type indexRec struct {
 	colCRC      uint32
 	colSize     int64
 	segs        []segRec
+	quantized   bool // segments carry .qcv code files (recIndexQ)
 }
 
 // ixKey identifies an index in the catalog.
@@ -113,7 +127,7 @@ func (st *manifestState) apply(rtype byte, rec any) {
 	switch rtype {
 	case recDataset:
 		st.tables[rec.(datasetRec).name] = rec.(datasetRec)
-	case recIndex:
+	case recIndex, recIndexQ:
 		ir := rec.(indexRec)
 		st.indexes[ixKey{ir.table, ir.source}] = ir
 	case recDropTable:
@@ -176,12 +190,13 @@ func decodeRecord(payload []byte) (byte, any, error) {
 			size:    int64(d.uvarint()),
 		}
 		return rtype, rec, d.finish("dataset")
-	case recIndex:
+	case recIndex, recIndexQ:
 		rec := indexRec{
 			table:       d.str(),
 			source:      d.str(),
 			fusion:      d.str(),
 			calibOracle: d.str(),
+			quantized:   rtype == recIndexQ,
 		}
 		rec.proxies = make([]string, d.count(maxManifestList))
 		for i := range rec.proxies {
@@ -203,6 +218,11 @@ func decodeRecord(payload []byte) (byte, any, error) {
 				count: d.count(maxFileRecords),
 				crc:   uint32(d.uvarint()),
 				size:  int64(d.uvarint()),
+			}
+			if rec.quantized {
+				rec.segs[i].codeFile = d.str()
+				rec.segs[i].codeCRC = uint32(d.uvarint())
+				rec.segs[i].codeSize = int64(d.uvarint())
 			}
 		}
 		return rtype, rec, d.finish("index")
@@ -228,7 +248,11 @@ func encodeDataset(rec datasetRec) []byte {
 }
 
 func encodeIndex(rec indexRec) []byte {
-	b := []byte{recIndex}
+	rtype := recIndex
+	if rec.quantized {
+		rtype = recIndexQ
+	}
+	b := []byte{rtype}
 	b = appendString(b, rec.table)
 	b = appendString(b, rec.source)
 	b = appendString(b, rec.fusion)
@@ -248,6 +272,11 @@ func encodeIndex(rec indexRec) []byte {
 		b = binary.AppendUvarint(b, uint64(s.count))
 		b = binary.AppendUvarint(b, uint64(s.crc))
 		b = binary.AppendUvarint(b, uint64(s.size))
+		if rec.quantized {
+			b = appendString(b, s.codeFile)
+			b = binary.AppendUvarint(b, uint64(s.codeCRC))
+			b = binary.AppendUvarint(b, uint64(s.codeSize))
+		}
 	}
 	return b
 }

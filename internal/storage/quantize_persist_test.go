@@ -1,0 +1,220 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"supg/internal/index"
+)
+
+// Persistence tests for the quantized index's .qcv code-vector files:
+// zero-rescan recovery of the codes, CRC rejection of corrupted or
+// torn code files, and segment reuse across quantize-on/off saves of
+// the same column.
+
+// seedQuantizedStore persists one table and one quantized index into
+// dir and returns the original index.
+func seedQuantizedStore(t testing.TB, dir string, segSize int) *index.ScoreIndex {
+	t.Helper()
+	d := testDataset(t, 3, 5000)
+	ix, err := index.NewWithOptions(d.Scores(), index.Options{SegmentSize: segSize, Quantize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := openStore(t, Options{Dir: dir})
+	if err := s.SaveDataset("t", d); err != nil {
+		t.Fatal(err)
+	}
+	meta := IndexMeta{Table: "t", Source: "p", Fusion: "none", Proxies: []string{"p"}}
+	if err := s.SaveIndex(meta, ix, s.Epoch("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestQuantizedRoundTripRecovery pins the tentpole's persistence
+// claim: a quantized index recovers from disk with zero permutation
+// sorts, keeps its codes (scans stay 2-byte), and answers every
+// threshold query bit-identically — on both the mmap and the
+// heap-decode path.
+func TestQuantizedRoundTripRecovery(t *testing.T) {
+	for _, noMmap := range []bool{false, true} {
+		t.Run(fmt.Sprintf("noMmap=%v", noMmap), func(t *testing.T) {
+			dir := t.TempDir()
+			ix := seedQuantizedStore(t, dir, 700)
+
+			if got, _ := filepath.Glob(filepath.Join(dir, "*.qcv")); len(got) != ix.Segments() {
+				t.Fatalf("%d .qcv files on disk, want one per segment (%d)", len(got), ix.Segments())
+			}
+
+			sortsBefore := index.BuildSortsTotal()
+			s := openStore(t, Options{Dir: dir, NoMmap: noMmap})
+			if got := index.BuildSortsTotal() - sortsBefore; got != 0 {
+				t.Fatalf("recovery performed %d permutation sorts, want 0", got)
+			}
+			st := s.Stats()
+			if st.IndexesRecovered != 1 || len(st.Degraded) != 0 {
+				t.Fatalf("recovery stats: %+v", st)
+			}
+			got := s.RecoveredIndexes()[0].Index
+			if !got.Quantized() {
+				t.Fatal("recovered index lost its code vectors")
+			}
+			if got.ScanBytesPerRecord() != 2 {
+				t.Fatalf("recovered scan width %d bytes/record, want 2", got.ScanBytesPerRecord())
+			}
+			assertIndexEquivalent(t, ix, got)
+		})
+	}
+}
+
+// TestCorruptCodeFileDegradesIndexOnly: a bit-flipped .qcv must fail
+// its CRC at boot and degrade the index — never serve wrong codes, and
+// never take the table down with it. The tombstone is durable, so a
+// second boot sees a clean catalog.
+func TestCorruptCodeFileDegradesIndexOnly(t *testing.T) {
+	for _, truncate := range []bool{false, true} {
+		t.Run(fmt.Sprintf("truncate=%v", truncate), func(t *testing.T) {
+			dir := t.TempDir()
+			seedQuantizedStore(t, dir, 700)
+			corruptFile(t, findFile(t, dir, ".qcv"), truncate)
+
+			s := openStore(t, Options{Dir: dir})
+			st := s.Stats()
+			if st.TablesRecovered != 1 {
+				t.Fatalf("table lost with the code file: %+v", st)
+			}
+			if st.IndexesRecovered != 0 || st.IndexesLive != 0 {
+				t.Fatalf("corrupt code file served: %+v", st)
+			}
+			if len(st.Degraded) == 0 || !strings.Contains(st.Degraded[0], "index t/p") {
+				t.Fatalf("degradation note missing: %v", st.Degraded)
+			}
+			s.Close()
+			s2 := openStore(t, Options{Dir: dir})
+			if st2 := s2.Stats(); len(st2.Degraded) != 0 || st2.TablesRecovered != 1 {
+				t.Fatalf("second boot re-discovered the corruption: %+v", st2)
+			}
+		})
+	}
+}
+
+// TestQuantizeTransitionCorruptsNothing covers the on/off transitions
+// over one column: turning quantization on must reuse the immutable
+// .seg files and write only the missing .qcv siblings; turning it off
+// must drop the code references (and eventually the files) while the
+// recovered index stays float-correct throughout.
+func TestQuantizeTransitionCorruptsNothing(t *testing.T) {
+	dir := t.TempDir()
+	d := testDataset(t, 7, 2000)
+	ref := buildIndex(t, d, 500) // 4 segments, float
+	quant, err := index.NewWithOptions(d.Scores(), index.Options{SegmentSize: 500, Quantize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := IndexMeta{Table: "t", Source: "p", Fusion: "none", Proxies: []string{"p"}}
+
+	s := openStore(t, Options{Dir: dir})
+	if err := s.SaveDataset("t", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveIndex(meta, ref, s.Epoch("t")); err != nil {
+		t.Fatal(err)
+	}
+	floatWrites := s.segmentsPersisted
+	oldRec := s.st.indexes[ixKey{"t", "p"}]
+
+	// On: same column, quantized. Segment files must be reused.
+	if err := s.SaveIndex(meta, quant, s.Epoch("t")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.segmentsPersisted - floatWrites; got != 0 {
+		t.Fatalf("quantize-on rewrote %d unchanged segment files", got)
+	}
+	qRec := s.st.indexes[ixKey{"t", "p"}]
+	for i, sr := range qRec.segs {
+		if sr.file != oldRec.segs[i].file {
+			t.Fatalf("segment %d rewritten on quantize-on (%s -> %s)", i, oldRec.segs[i].file, sr.file)
+		}
+		if sr.codeFile == "" || sr.codeSize == 0 {
+			t.Fatalf("segment %d missing its code file after quantize-on: %+v", i, sr)
+		}
+	}
+	if !qRec.quantized {
+		t.Fatal("manifest record not marked quantized")
+	}
+
+	// Off again: the code references must clear; recovery serves the
+	// float index.
+	if err := s.SaveIndex(meta, ref, s.Epoch("t")); err != nil {
+		t.Fatal(err)
+	}
+	offRec := s.st.indexes[ixKey{"t", "p"}]
+	if offRec.quantized {
+		t.Fatal("manifest record still quantized after float save")
+	}
+	for i, sr := range offRec.segs {
+		if sr.codeFile != "" {
+			t.Fatalf("segment %d kept a code reference after quantize-off: %+v", i, sr)
+		}
+	}
+	s.Close()
+
+	s2 := openStore(t, Options{Dir: dir})
+	got := s2.RecoveredIndexes()[0].Index
+	if got.Quantized() {
+		t.Fatal("float save recovered quantized")
+	}
+	assertIndexEquivalent(t, ref, got)
+	// The superseded sweep removed the unreferenced .qcv files.
+	if left, _ := filepath.Glob(filepath.Join(dir, "*.qcv")); len(left) != 0 {
+		t.Fatalf("%d orphaned .qcv files survived quantize-off: %v", len(left), left)
+	}
+}
+
+// TestQuantizedManifestReplayPreservesOldRecords: an unquantized index
+// record must encode byte-identically with the quantization fields
+// absent (recIndex, not recIndexQ), so pre-quantization manifests
+// replay unchanged — covered indirectly by every float test, pinned
+// here via a record round-trip of both flavors.
+func TestQuantizedManifestRecordRoundTrip(t *testing.T) {
+	recs := []indexRec{
+		{
+			table: "t", source: "p", fusion: "none", proxies: []string{"p"},
+			n: 9, colFile: "000001.col", colCRC: 7, colSize: 100,
+			segs: []segRec{{file: "000002.seg", base: 0, count: 9, crc: 9, size: 160}},
+		},
+		{
+			table: "t", source: "q", fusion: "none", proxies: []string{"q"},
+			n: 9, colFile: "000003.col", colCRC: 8, colSize: 100, quantized: true,
+			segs: []segRec{{file: "000004.seg", base: 0, count: 9, crc: 3, size: 160,
+				codeFile: "000005.qcv", codeCRC: 5, codeSize: 64}},
+		},
+	}
+	for _, rec := range recs {
+		wantType := byte(recIndex)
+		if rec.quantized {
+			wantType = recIndexQ
+		}
+		rtype, got, err := decodeRecord(encodeIndex(rec))
+		if err != nil {
+			t.Fatalf("quantized=%v: %v", rec.quantized, err)
+		}
+		if rtype != wantType {
+			t.Fatalf("quantized=%v encoded as record type %d, want %d", rec.quantized, rtype, wantType)
+		}
+		gr, ok := got.(indexRec)
+		if !ok {
+			t.Fatalf("decoded %T", got)
+		}
+		if gr.quantized != rec.quantized || gr.segs[0].codeFile != rec.segs[0].codeFile ||
+			gr.segs[0].codeCRC != rec.segs[0].codeCRC || gr.segs[0].codeSize != rec.segs[0].codeSize {
+			t.Fatalf("round trip diverged: %+v vs %+v", gr, rec)
+		}
+	}
+}
