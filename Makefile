@@ -13,7 +13,7 @@ SMOKE_N ?= 65536
 BENCH_HOTPATH_ENGINE = SelectHotPath$$|SelectHotPathQuantized$$
 BENCH_HOTPATH_INDEX = PermScan|IndexBuildQuantized|IndexAppend
 
-.PHONY: all build test test-race vet fmt-check bench bench-json bench-check bench-labelstore bench-multiproxy bench-storage cover cover-check fuzz-smoke chaos-smoke
+.PHONY: all build test test-race vet lint lint-fix fmt-check bench bench-json bench-check bench-labelstore bench-multiproxy bench-storage cover cover-check fuzz-smoke chaos-smoke profile
 
 all: build vet test
 
@@ -28,6 +28,18 @@ test-race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet plus supglint, the repository's custom
+# analyzer suite (internal/lint) that enforces the determinism,
+# error-taxonomy, storage-commit, and benchmark-hygiene invariants.
+# Fails on any finding and on stale //supg:*-ok annotations alike.
+lint: vet
+	$(GO) run ./cmd/supglint ./...
+
+# Like lint, but prints the suggested fix under every finding.
+# Advisory: always exits 0, so it can be run mid-cleanup.
+lint-fix:
+	-$(GO) run ./cmd/supglint -suggest ./...
 
 # Fails when any tracked Go file is not gofmt-clean.
 fmt-check:
@@ -132,3 +144,22 @@ bench-multiproxy:
 # n=1e6. Committed snapshot: BENCH_storage.json.
 bench-storage:
 	$(GO) test ./internal/storage -bench StorageBoot -benchmem -run '^$$'
+
+# Profile scale (records); the default matches the CI bench smoke.
+PROFILE_N ?= $(SMOKE_N)
+
+# Writes cpu/mem pprof profiles of the hot-path benchmark batteries
+# into profiles/, plus `go tool pprof -top` text summaries. CI uploads
+# the directory as an artifact; inspect interactively with
+# `go tool pprof -http=: profiles/engine_cpu.pprof`.
+profile:
+	mkdir -p profiles
+	SUPG_BENCH_N=$(PROFILE_N) $(GO) test ./internal/engine -bench '$(BENCH_HOTPATH_ENGINE)' -run '^$$' \
+		-cpuprofile profiles/engine_cpu.pprof -memprofile profiles/engine_mem.pprof -o profiles/engine.test
+	SUPG_BENCH_N=$(PROFILE_N) $(GO) test ./internal/index -bench '$(BENCH_HOTPATH_INDEX)' -run '^$$' \
+		-cpuprofile profiles/index_cpu.pprof -memprofile profiles/index_mem.pprof -o profiles/index.test
+	$(GO) tool pprof -top -nodecount=20 profiles/engine.test profiles/engine_cpu.pprof > profiles/engine_cpu.txt
+	$(GO) tool pprof -top -nodecount=20 -sample_index=alloc_space profiles/engine.test profiles/engine_mem.pprof > profiles/engine_mem.txt
+	$(GO) tool pprof -top -nodecount=20 profiles/index.test profiles/index_cpu.pprof > profiles/index_cpu.txt
+	$(GO) tool pprof -top -nodecount=20 -sample_index=alloc_space profiles/index.test profiles/index_mem.pprof > profiles/index_mem.txt
+	@echo "wrote profiles/: engine_{cpu,mem}.pprof, index_{cpu,mem}.pprof and -top summaries"

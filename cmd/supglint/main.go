@@ -1,0 +1,84 @@
+// Command supglint runs the repository's custom static analyzers
+// (internal/lint) over the module: determinism of the result path, the
+// oracle error taxonomy, the storage commit discipline, and benchmark
+// hygiene. It exits non-zero if any diagnostic survives annotation
+// suppression, so `make lint` and CI fail on fresh violations and on
+// stale //supg:*-ok annotations alike.
+//
+// Usage:
+//
+//	supglint [-analyzers determinism,errtaxonomy,...] [-suggest] [./...]
+//	supglint -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"supg/internal/lint"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the registered analyzers and exit")
+		names   = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		suggest = flag.Bool("suggest", false, "print a suggested fix under each diagnostic")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s //supg:%s-ok  %s\n", a.Name, a.Annotation, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByNames(*names)
+	if err != nil {
+		fatal(err)
+	}
+
+	// The sweep is module-wide: a package pattern argument only picks
+	// the module to lint (./... from inside it, or a subdirectory).
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = strings.TrimSuffix(flag.Arg(0), "...")
+		if dir = strings.TrimSuffix(dir, "/"); dir == "" {
+			dir = "."
+		}
+	}
+	root, err := lint.FindModuleRoot(dir)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := lint.Load(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := lint.Run(m, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d.String())
+		if *suggest && d.Suggestion != "" {
+			fmt.Printf("\tfix: %s\n", d.Suggestion)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "supglint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "supglint:", err)
+	os.Exit(2)
+}

@@ -244,4 +244,22 @@
 // torn manifest tail is truncated exactly like the WAL's. See
 // README.md ("Durable storage") for the file formats, the
 // invalidation rules, and the recovery procedure.
+//
+// # Static analysis
+//
+// The invariants above are machine-enforced by supglint
+// (cmd/supglint, internal/lint): custom analyzers verify that
+// result-path packages stay a pure function of (data, seed)
+// [determinism], that errors crossing the oracle boundary carry a
+// Transient/Permanent class and wrap with %w [errtaxonomy], that
+// storage and WAL writes flow through the fsync'd tmp→rename commit
+// helpers [atomiccommit], and that benchmarks in the CI-gated
+// batteries report correctly [benchhygiene]. Deliberate exceptions
+// are annotated in place with //supg:<check>-ok <reason>; stale or
+// malformed annotations fail the build exactly like fresh
+// violations. `make lint` runs the suite, and TestRepoIsLintClean
+// pins the whole-module sweep clean at every commit. See README.md
+// ("Static analysis: supglint") and the internal/lint package
+// documentation for the annotation grammar and how to add an
+// analyzer.
 package supg

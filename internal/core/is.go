@@ -1,6 +1,7 @@
 package core
 
 import (
+	"maps"
 	"math"
 	"sort"
 
@@ -132,12 +133,8 @@ func estimateISPrecisionTwoStage(r *randx.Rand, src ScoreSource, o *oracle.Budge
 	tau := certifyMinPrecisionTau(s1, src, float64(len(subset)), spec, cfg, b, spec.Delta/2)
 
 	labels := make(map[int]bool, len(s0.labels)+len(s1.labels))
-	for k, v := range s0.labels {
-		labels[k] = v
-	}
-	for k, v := range s1.labels {
-		labels[k] = v
-	}
+	maps.Copy(labels, s0.labels)
+	maps.Copy(labels, s1.labels)
 	return TauResult{Tau: tau, Labeled: labels, OracleCalls: s0.calls + s1.calls}, nil
 }
 

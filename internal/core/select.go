@@ -153,7 +153,7 @@ func assembleFrom(src ScoreSource, tr TauResult) Result {
 
 	// R1: labeled positives, ascending by id.
 	pos := make([]int, 0, len(tr.Labeled))
-	for i, lab := range tr.Labeled {
+	for i, lab := range tr.Labeled { //supg:nondeterminism-ok builds a set of positives; order is restored by the sort below
 		if lab {
 			pos = append(pos, i)
 		}

@@ -15,6 +15,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -33,6 +34,11 @@ import (
 	"supg/internal/randx"
 	"supg/internal/storage"
 )
+
+// ErrUnknownTable is the sentinel wrapped into every "no such table"
+// error; callers route on it with errors.Is instead of matching
+// message text.
+var ErrUnknownTable = errors.New("unknown table")
 
 // OracleUDF is a user-provided ground-truth predicate over record ids.
 type OracleUDF func(record int) (bool, error)
@@ -444,7 +450,7 @@ func (e *Engine) AppendTable(name string, extra *dataset.Dataset) (*dataset.Data
 	defer e.mu.Unlock()
 	old, ok := e.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown table %q (known: %v)", name, e.tableNamesLocked())
+		return nil, fmt.Errorf("engine: %w %q (known: %v)", ErrUnknownTable, name, e.tableNamesLocked())
 	}
 	combined := old.Append(extra)
 	e.tables[name] = combined
@@ -827,7 +833,7 @@ func (e *Engine) ExecutePlanContext(ctx context.Context, plan *query.Plan, opts 
 	e.mu.RUnlock()
 
 	if !okT {
-		return nil, fmt.Errorf("engine: unknown table %q (known: %v)", plan.Table, e.tableNames())
+		return nil, fmt.Errorf("engine: %w %q (known: %v)", ErrUnknownTable, plan.Table, e.tableNames())
 	}
 	if !okO {
 		return nil, fmt.Errorf("engine: unknown oracle UDF %q", plan.OracleUDF)

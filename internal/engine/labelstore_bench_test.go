@@ -9,12 +9,13 @@ import (
 // the cold run pays the full budget in real oracle calls, every warm
 // iteration pays zero (the store answers), which is the whole point of
 // cross-query label reuse — see `make bench-labelstore`.
-func BenchmarkLabelStoreWarmQuery(b *testing.B) {
+func BenchmarkLabelStoreWarmQuery(b *testing.B) { //supg:benchhygiene-ok trailing StopTimer excludes the metric math from the timed region; no StartTimer follows by design
 	e, _, udfCalls := countedEngine(b, Options{})
 	if _, err := e.Execute(engineRT); err != nil {
 		b.Fatal(err)
 	}
 	cold := udfCalls.Load()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Execute(engineRT); err != nil {
@@ -29,12 +30,13 @@ func BenchmarkLabelStoreWarmQuery(b *testing.B) {
 
 // BenchmarkLabelStoreDisabled is the storeless baseline: every
 // iteration re-buys the full oracle budget.
-func BenchmarkLabelStoreDisabled(b *testing.B) {
+func BenchmarkLabelStoreDisabled(b *testing.B) { //supg:benchhygiene-ok trailing StopTimer excludes the metric math from the timed region; no StartTimer follows by design
 	e, _, udfCalls := countedEngine(b, Options{LabelCacheBytes: -1})
 	if _, err := e.Execute(engineRT); err != nil {
 		b.Fatal(err)
 	}
 	before := udfCalls.Load()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Execute(engineRT); err != nil {

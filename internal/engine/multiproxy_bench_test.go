@@ -10,13 +10,14 @@ import (
 // oracle and label store), then every warm iteration reuses the cached
 // fused index and warm labels — reported warm-oracle-calls/op and
 // warm-calibration-calls/op are both 0. See `make bench-multiproxy`.
-func BenchmarkMultiProxyFusedWarmQuery(b *testing.B) {
+func BenchmarkMultiProxyFusedWarmQuery(b *testing.B) { //supg:benchhygiene-ok trailing StopTimer excludes the metric math from the timed region; no StartTimer follows by design
 	e, _, udfCalls := fusedEngine(b, Options{})
 	cold, err := e.Execute(fusedLogisticRT)
 	if err != nil {
 		b.Fatal(err)
 	}
 	coldUDF := udfCalls.Load()
+	b.ReportAllocs()
 	b.ResetTimer()
 	warmCalib := 0
 	for i := 0; i < b.N; i++ {
@@ -39,12 +40,13 @@ func BenchmarkMultiProxyFusedWarmQuery(b *testing.B) {
 // engine re-fuses and recalibrates every time — yet the recalibration
 // is served entirely by the cross-query label store, and the oracle UDF
 // is never invoked again (warm-oracle-calls/op = 0 in charged mode).
-func BenchmarkMultiProxyWarmRecalibration(b *testing.B) {
+func BenchmarkMultiProxyWarmRecalibration(b *testing.B) { //supg:benchhygiene-ok trailing StopTimer excludes the metric math from the timed region; no StartTimer follows by design
 	e, d, udfCalls := fusedEngine(b, Options{})
 	if _, err := e.Execute(fusedLogisticRT); err != nil {
 		b.Fatal(err)
 	}
 	coldUDF := udfCalls.Load()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.RegisterProxy("video_proxy", func(j int) float64 { return d.Score(j) })

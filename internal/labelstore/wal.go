@@ -79,7 +79,7 @@ func openWAL(s *Store, path string, syncEvery int) (*wal, int64, error) {
 	if syncEvery <= 0 {
 		syncEvery = 1
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644) //supg:atomiccommit-ok the WAL is the commit path: frames are CRC-framed and fsynced per sync policy, torn tails are truncated on replay
 	if err != nil {
 		return nil, 0, fmt.Errorf("labelstore: open wal: %w", err)
 	}
@@ -341,7 +341,7 @@ func (w *wal) compactLocked() error {
 	s.mu.RUnlock()
 
 	tmpPath := w.path + ".compact"
-	tmp, err := os.Create(tmpPath)
+	tmp, err := os.Create(tmpPath) //supg:atomiccommit-ok compaction's tmp file; fsynced below, then renamed over the WAL
 	if err != nil {
 		return fmt.Errorf("labelstore: wal compact: %w", err)
 	}
@@ -420,7 +420,7 @@ func (w *wal) compactLocked() error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("labelstore: wal compact: %w", err)
 	}
-	if err := os.Rename(tmpPath, w.path); err != nil {
+	if err := os.Rename(tmpPath, w.path); err != nil { //supg:atomiccommit-ok this IS the compaction commit point: tmp was fsynced above and the directory is synced after
 		return fmt.Errorf("labelstore: wal compact: %w", err)
 	}
 	// Swap the append side over to the fresh file.

@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"supg/internal/lint"
+	"supg/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "testdata/determinism")
+}
+
+func TestErrTaxonomy(t *testing.T) {
+	linttest.Run(t, lint.ErrTaxonomy, "testdata/errtaxonomy")
+}
+
+// TestErrTaxonomyCallerScope proves the Label-boundary rule is
+// oracle-only while the wrap and routing rules follow callers.
+func TestErrTaxonomyCallerScope(t *testing.T) {
+	linttest.Run(t, lint.ErrTaxonomy, "testdata/errtaxonomy_caller")
+}
+
+func TestAtomicCommit(t *testing.T) {
+	linttest.Run(t, lint.AtomicCommit, "testdata/atomiccommit")
+}
+
+func TestBenchHygiene(t *testing.T) {
+	linttest.Run(t, lint.BenchHygiene, "testdata/benchhygiene")
+}
+
+// TestBenchHygieneUngated proves ReportAllocs is only required inside
+// the CI-gated benchmark batteries.
+func TestBenchHygieneUngated(t *testing.T) {
+	linttest.Run(t, lint.BenchHygiene, "testdata/benchhygiene_ungated")
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// gatedBenchPackages hold the benchmark batteries whose allocs/op and
+// bytes/op are CI-gated against committed baselines (BENCH_hotpath.json
+// via make bench-check, BENCH_storage.json): their benchmarks must
+// report allocations explicitly instead of relying on -benchmem.
+var gatedBenchPackages = map[string]bool{
+	"internal/engine":  true,
+	"internal/index":   true,
+	"internal/storage": true,
+}
+
+// BenchHygiene enforces benchmark mechanics that silently corrupt the
+// committed benchmark trajectory when violated:
+//
+//   - b.ReportMetric before b.ResetTimer is dropped entirely —
+//     ResetTimer deletes user-reported metrics (the PR 8
+//     scan-bytes/rec bug a reviewer missed and a machine catches).
+//   - unbalanced b.StopTimer/b.StartTimer leaks timer state across
+//     iterations and benchmarks.
+//   - benchmarks in the gated batteries must call b.ReportAllocs so
+//     allocs/op is present no matter how the benchmark is invoked.
+var BenchHygiene = &Analyzer{
+	Name:       "benchhygiene",
+	Doc:        "flag ReportMetric-before-ResetTimer, timer imbalance, and missing ReportAllocs in gated benchmarks",
+	Annotation: "benchhygiene",
+	TestFiles:  true,
+	Run:        runBenchHygiene,
+}
+
+func runBenchHygiene(pass *Pass) {
+	gated := gatedBenchPackages[relPath(pass.ModulePath, pass.Package.Path)]
+	pass.InspectFiles(func(f *ast.File) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil {
+				continue
+			}
+			if !strings.HasPrefix(fd.Name.Name, "Benchmark") || !hasTestingBParam(pass, fd) {
+				continue
+			}
+			checkBenchScope(pass, fd.Name.Name, fd.Name.Pos(), fd.Body, gated)
+		}
+	})
+}
+
+func hasTestingBParam(pass *Pass, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) != 1 {
+		return false
+	}
+	return namedTypeIs(pass.TypeOf(params.List[0].Type), "testing", "B")
+}
+
+// benchEvents are the testing.B calls in one benchmark scope, in
+// source order, excluding nested b.Run sub-benchmark literals (which
+// are analyzed as their own scopes).
+type benchEvents struct {
+	resetTimer   []token.Pos
+	reportMetric []token.Pos
+	reportAllocs int
+	stopTimer    int
+	startTimer   int
+	runs         []*ast.FuncLit
+	hasRun       bool
+}
+
+func checkBenchScope(pass *Pass, name string, pos token.Pos, body *ast.BlockStmt, gated bool) {
+	ev := collectBenchEvents(pass, body)
+
+	for _, rm := range ev.reportMetric {
+		for _, rt := range ev.resetTimer {
+			if rt > rm {
+				pass.Report(rm,
+					"b.ReportMetric before b.ResetTimer: ResetTimer deletes user-reported metrics, so this one vanishes from the output",
+					"move the ReportMetric call after the final ResetTimer")
+				break
+			}
+		}
+	}
+	if ev.stopTimer != ev.startTimer {
+		pass.Report(pos,
+			fmt.Sprintf("unbalanced b.StopTimer/b.StartTimer (%d stop, %d start): timer state leaks across iterations", ev.stopTimer, ev.startTimer),
+			"pair every StopTimer with a StartTimer in the same scope")
+	}
+	if gated && !ev.hasRun && ev.reportAllocs == 0 {
+		pass.Report(pos,
+			name+" is in a CI-gated benchmark battery but never calls b.ReportAllocs: allocs/op silently disappears without -benchmem",
+			"call b.ReportAllocs() before the measured loop")
+	}
+
+	for _, lit := range ev.runs {
+		checkBenchScope(pass, name+" sub-benchmark", lit.Pos(), lit.Body, gated)
+	}
+}
+
+func collectBenchEvents(pass *Pass, body *ast.BlockStmt) *benchEvents {
+	ev := &benchEvents{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // sub-scopes handled separately (via b.Run) or ignored
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !namedTypeIs(pass.TypeOf(sel.X), "testing", "B") {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "ResetTimer":
+			ev.resetTimer = append(ev.resetTimer, call.Pos())
+		case "ReportMetric":
+			ev.reportMetric = append(ev.reportMetric, call.Pos())
+		case "ReportAllocs":
+			ev.reportAllocs++
+		case "StopTimer":
+			ev.stopTimer++
+		case "StartTimer":
+			ev.startTimer++
+		case "Run":
+			ev.hasRun = true
+			if len(call.Args) == 2 {
+				if lit, ok := call.Args[1].(*ast.FuncLit); ok {
+					ev.runs = append(ev.runs, lit)
+				}
+			}
+		}
+		return true
+	})
+	return ev
+}

@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"supg/internal/lint"
+)
+
+// TestRepoIsLintClean pins `supglint ./...` green at HEAD: the whole
+// module is loaded and swept with the full analyzer suite, and any
+// surviving diagnostic fails the build. Deleting an annotation at a
+// deliberately-suppressed site (e.g. the storage commit helpers) makes
+// this test fail, as does introducing a fresh violation.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	m, err := lint.Load(root)
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(m.Packages) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	for _, d := range lint.Run(m, lint.All()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+func TestParseVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []verb
+	}{
+		{"plain", nil},
+		{"%d", []verb{{0, 'd'}}},
+		{"%d %s", []verb{{0, 'd'}, {1, 's'}}},
+		{"%%v", nil},
+		{"a %w b", []verb{{0, 'w'}}},
+		{"%+v", []verb{{0, 'v'}}},
+		{"%*d %v", []verb{{1, 'd'}, {2, 'v'}}},
+		{"%.*f %v", []verb{{1, 'f'}, {2, 'v'}}},
+		{"%[2]d %[1]w", []verb{{1, 'd'}, {0, 'w'}}},
+		{"%6.2f %w", []verb{{0, 'f'}, {1, 'w'}}},
+		{"trailing %", nil},
+	}
+	for _, c := range cases {
+		if got := parseVerbs(c.format); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseVerbs(%q) = %v, want %v", c.format, got, c.want)
+		}
+	}
+}
+
+func TestIncludeFileName(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"plain.go", true},
+		{"plain_test.go", true},
+		{"_hidden.go", false},
+		{".dot.go", false},
+		{"mmap_linux.go", runtime.GOOS == "linux"},
+		{"mmap_windows.go", runtime.GOOS == "windows"},
+		{"asm_amd64.go", runtime.GOARCH == "amd64"},
+		{"x_linux_amd64.go", runtime.GOOS == "linux" && runtime.GOARCH == "amd64"},
+		{"x_windows_arm64.go", false},
+		{"strings_util.go", true}, // "util" is neither an OS nor an arch
+	}
+	for _, c := range cases {
+		if got := includeFileName(c.name); got != c.want {
+			t.Errorf("includeFileName(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBuildConstraintsMatch(t *testing.T) {
+	parse := func(src string) *ast.File {
+		f, err := parser.ParseFile(token.NewFileSet(), "x.go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return f
+	}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"package x\n", true},
+		{"//go:build " + runtime.GOOS + "\n\npackage x\n", true},
+		{"//go:build !" + runtime.GOOS + "\n\npackage x\n", false},
+		{"//go:build cgo\n\npackage x\n", false},
+		{"//go:build go1.21\n\npackage x\n", true},
+		{"//go:build go1.99\n\npackage x\n", false},
+		{"//go:build " + runtime.GOOS + " && " + runtime.GOARCH + "\n\npackage x\n", true},
+	}
+	for _, c := range cases {
+		if got := buildConstraintsMatch(parse(c.src)); got != c.want {
+			t.Errorf("buildConstraintsMatch(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestRelPath(t *testing.T) {
+	cases := []struct {
+		pkg, want string
+	}{
+		{"supg", ""},
+		{"supg/internal/core", "internal/core"},
+		{"supg/internal/core_test", "internal/core"},
+	}
+	for _, c := range cases {
+		if got := relPath("supg", c.pkg); got != c.want {
+			t.Errorf("relPath(supg, %q) = %q, want %q", c.pkg, got, c.want)
+		}
+	}
+}
+
+func TestByNames(t *testing.T) {
+	all, err := ByNames("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByNames(\"\") = %v, %v; want the full suite", all, err)
+	}
+	two, err := ByNames("determinism, atomiccommit")
+	if err != nil || len(two) != 2 || two[0] != Determinism || two[1] != AtomicCommit {
+		t.Fatalf("ByNames(determinism, atomiccommit) = %v, %v", two, err)
+	}
+	if _, err := ByNames("nope"); err == nil {
+		t.Fatal("ByNames(nope) succeeded, want error")
+	}
+}
+
+func TestFindModuleRootFails(t *testing.T) {
+	if _, err := FindModuleRoot(t.TempDir()); err == nil {
+		t.Fatal("FindModuleRoot(tempdir) succeeded, want error")
+	}
+}

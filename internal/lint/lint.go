@@ -1,0 +1,373 @@
+// Package lint is supglint: a suite of static analyzers that enforce
+// the repository's cross-cutting invariants — determinism of the
+// result path, the oracle error taxonomy, the storage tier's
+// tmp→fsync→rename commit discipline, and benchmark hygiene — on
+// every diff instead of in reviewer memory.
+//
+// The package deliberately mirrors the golang.org/x/tools/go/analysis
+// contract (Analyzer, Pass, Diagnostic, an analysistest-style golden
+// runner in linttest) but is self-contained on the standard library:
+// the build is hermetic, so import resolution goes through the gc
+// compiler's export data via `go list -export` rather than a vendored
+// x/tools.
+//
+// # Annotations
+//
+// A finding that is deliberate is suppressed in place with an
+// annotation comment on the flagged line or the line directly above:
+//
+//	//supg:<check>-ok <reason>
+//
+// where <check> is the analyzer's annotation key (nondeterminism,
+// errtaxonomy, atomiccommit, benchhygiene) and <reason> is mandatory
+// free text explaining why the invariant holds anyway. Annotations are
+// themselves checked: an unknown key, a missing reason, an annotation
+// in a package or file its analyzer never inspects, or an annotation
+// that suppresses nothing are all diagnostics — so stale suppressions
+// fail the build exactly like fresh violations.
+//
+// # Adding a new analyzer
+//
+// Write a `func(*Pass)` that walks pass.Package.Files and calls
+// pass.Report, wrap it in an Analyzer literal (Name, Doc, Annotation
+// key, Packages scope, TestFiles orientation), register it in All,
+// and add a fixture directory under testdata/ driven by linttest.Run
+// with `// want "regexp"` expectations. The driver picks up scope
+// filtering, annotation suppression, and the unused-annotation check
+// automatically.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. It mirrors the x/tools analysis.Analyzer
+// shape: a documented Run function invoked once per package in scope.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -analyzers flags.
+	Name string
+	// Doc is the one-paragraph description shown by supglint -list.
+	Doc string
+	// Annotation is the suppression key: a diagnostic from this analyzer
+	// at line L is suppressed by a `//supg:<Annotation>-ok <reason>`
+	// comment on line L or L-1.
+	Annotation string
+	// Packages scopes the analyzer to module-relative package dirs
+	// (e.g. "internal/core"). Nil means every package.
+	Packages []string
+	// TestFiles selects which files the analyzer inspects: false = only
+	// non-test files, true = only _test.go files.
+	TestFiles bool
+	// Run reports diagnostics for one package.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding, with its position resolved to a concrete
+// file:line:col so it can be printed and sorted without a FileSet.
+type Diagnostic struct {
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suggestion string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer   *Analyzer
+	ModulePath string
+	Package    *Package
+
+	diags []Diagnostic
+}
+
+// Report records a diagnostic at pos. The suggestion is surfaced by
+// `supglint -suggest` (and `make lint-fix`); keep it actionable.
+func (p *Pass) Report(pos token.Pos, msg, suggestion string) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:        p.Package.Fset.Position(pos),
+		Analyzer:   p.Analyzer.Name,
+		Message:    msg,
+		Suggestion: suggestion,
+	})
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Package.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// CalleeFunc resolves the called function or method of call, or nil
+// for calls through function values, builtins, and conversions.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Package.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// CalleeIsPkgFunc reports whether call invokes the package-level
+// function pkgpath.name.
+func (p *Pass) CalleeIsPkgFunc(call *ast.CallExpr, pkgpath, name string) bool {
+	fn := p.CalleeFunc(call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgpath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// InspectFiles walks every file the analyzer is oriented at (test vs
+// non-test per Analyzer.TestFiles), calling walk on each.
+func (p *Pass) InspectFiles(walk func(f *ast.File)) {
+	for _, f := range p.Package.Files {
+		if p.Package.IsTestFile(f) == p.Analyzer.TestFiles {
+			walk(f)
+		}
+	}
+}
+
+// annotationRE parses `//supg:<key>-ok <reason>`; a trailing
+// `// want ...` clause (linttest fixtures) is stripped first.
+var annotationRE = regexp.MustCompile(`^//supg:([a-zA-Z0-9_-]*?)-ok(?:[ \t]+(.*))?$`)
+
+type annotation struct {
+	key    string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// collectAnnotations extracts //supg: annotations from the package,
+// keyed by (filename, line). Malformed //supg: comments are reported
+// immediately as diagnostics.
+func collectAnnotations(pkg *Package, report func(Diagnostic)) map[string][]*annotation {
+	anns := make(map[string][]*annotation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, "//supg:") {
+					continue
+				}
+				if i := strings.Index(text, "// want"); i > 0 {
+					text = strings.TrimSpace(text[:i])
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := annotationRE.FindStringSubmatch(text)
+				if m == nil {
+					report(Diagnostic{
+						Pos:        pos,
+						Analyzer:   "annotations",
+						Message:    fmt.Sprintf("malformed supg annotation %q; the grammar is //supg:<check>-ok <reason>", text),
+						Suggestion: "use //supg:<check>-ok <reason> with <check> one of the analyzer annotation keys",
+					})
+					continue
+				}
+				a := &annotation{key: m[1], reason: strings.TrimSpace(m[2]), pos: pos}
+				k := lineKey(pos.Filename, pos.Line)
+				anns[k] = append(anns[k], a)
+			}
+		}
+	}
+	return anns
+}
+
+func lineKey(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+
+// scopeInPackages reports whether the module-relative package dir rel
+// is in the analyzer's scope.
+func (a *Analyzer) scopeInPackages(rel string) bool {
+	if a.Packages == nil {
+		return true
+	}
+	for _, p := range a.Packages {
+		if rel == p {
+			return true
+		}
+	}
+	return false
+}
+
+// relPath returns pkg's module-relative dir ("" for the module root).
+// The _test suffix of an external test package maps to its directory.
+func relPath(modulePath, pkgPath string) string {
+	p := strings.TrimSuffix(pkgPath, "_test")
+	if p == modulePath {
+		return ""
+	}
+	return strings.TrimPrefix(p, modulePath+"/")
+}
+
+// RunPackage runs every in-scope analyzer from run over pkg, applies
+// annotation suppression, and validates the annotations themselves.
+// registry must be the full analyzer set (All()) so unknown annotation
+// keys are distinguished from keys of analyzers not requested.
+func RunPackage(modulePath string, pkg *Package, run []*Analyzer, registry []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	anns := collectAnnotations(pkg, func(d Diagnostic) { out = append(out, d) })
+
+	byKey := make(map[string]*Analyzer, len(registry))
+	for _, a := range registry {
+		byKey[a.Annotation] = a
+	}
+	requested := make(map[string]bool, len(run))
+	rel := relPath(modulePath, pkg.Path)
+
+	for _, a := range run {
+		requested[a.Annotation] = true
+		if !a.scopeInPackages(rel) {
+			continue
+		}
+		pass := &Pass{Analyzer: a, ModulePath: modulePath, Package: pkg}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if suppress(anns, a.Annotation, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+
+	// Validate the annotations: unknown key, missing reason, annotation
+	// that can never fire here, annotation that suppressed nothing.
+	for _, list := range anns {
+		for _, a := range list {
+			owner := byKey[a.key]
+			if owner == nil {
+				out = append(out, Diagnostic{
+					Pos:        a.pos,
+					Analyzer:   "annotations",
+					Message:    fmt.Sprintf("unknown supg annotation key %q", a.key),
+					Suggestion: "use one of the registered analyzer annotation keys (supglint -list)",
+				})
+				continue
+			}
+			if !requested[a.key] {
+				continue // its analyzer did not run; nothing to judge
+			}
+			switch {
+			case a.reason == "":
+				out = append(out, Diagnostic{
+					Pos:        a.pos,
+					Analyzer:   owner.Name,
+					Message:    fmt.Sprintf("//supg:%s-ok annotation without a reason", a.key),
+					Suggestion: "state why the invariant holds at this site: //supg:" + a.key + "-ok <reason>",
+				})
+			case !owner.scopeInPackages(rel) || !annotationOriented(pkg, a, owner):
+				out = append(out, Diagnostic{
+					Pos:        a.pos,
+					Analyzer:   owner.Name,
+					Message:    fmt.Sprintf("//supg:%s-ok annotation where the %s analyzer never reports; delete it", a.key, owner.Name),
+					Suggestion: "remove the annotation",
+				})
+			case !a.used:
+				out = append(out, Diagnostic{
+					Pos:        a.pos,
+					Analyzer:   owner.Name,
+					Message:    fmt.Sprintf("unused //supg:%s-ok annotation: it suppresses no %s finding; delete it", a.key, owner.Name),
+					Suggestion: "remove the annotation (or move it onto the line of the finding it should suppress)",
+				})
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// annotationOriented reports whether the annotation sits in a file of
+// the kind (test vs non-test) its analyzer inspects.
+func annotationOriented(pkg *Package, a *annotation, owner *Analyzer) bool {
+	return strings.HasSuffix(a.pos.Filename, "_test.go") == owner.TestFiles
+}
+
+// suppress consumes an annotation with the given key on the
+// diagnostic's line or the line directly above, if present.
+func suppress(anns map[string][]*annotation, key string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, a := range anns[lineKey(pos.Filename, line)] {
+			if a.key == key && a.reason != "" {
+				a.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over every package of the module and
+// returns the surviving diagnostics in file/line order.
+func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.Packages {
+		out = append(out, RunPackage(m.Path, pkg, analyzers, All())...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// All returns the registered analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		ErrTaxonomy,
+		AtomicCommit,
+		BenchHygiene,
+	}
+}
+
+// ByNames resolves a comma-separated analyzer name list against All.
+func ByNames(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a := byName[n]
+		if a == nil {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

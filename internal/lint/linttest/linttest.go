@@ -1,0 +1,164 @@
+// Package linttest is the analysistest-style golden runner for
+// supglint analyzers: it loads a fixture directory as one type-checked
+// package, runs an analyzer through the same driver path as the real
+// sweep (annotation suppression and validation included), and matches
+// the produced diagnostics against `// want "regexp"` expectations.
+//
+// Fixture grammar:
+//
+//   - every fixture file may carry `//supglinttest:path <import path>`
+//     declaring the package path the fixture pretends to be, so
+//     analyzer package scoping behaves exactly as in the real module
+//     (e.g. `//supglinttest:path supg/internal/core`).
+//   - a line expecting diagnostics ends with `// want "re1" "re2" ...`
+//     (double-quoted or backquoted regexps); each must match one
+//     diagnostic message reported on that line, and every diagnostic
+//     must be expected.
+//   - files named *_test.go are presented to the analyzer as test
+//     files (benchhygiene fixtures use this).
+package linttest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"supg/internal/lint"
+)
+
+var pathDirectiveRE = regexp.MustCompile(`(?m)^//supglinttest:path[ \t]+(\S+)`)
+var wantRE = regexp.MustCompile("// want((?:[ \t]+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+var wantArgRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run loads fixtureDir as one package and checks analyzer a against
+// its `// want` expectations.
+func Run(t *testing.T, a *lint.Analyzer, fixtureDir string) {
+	t.Helper()
+	diags, fset, files := analyze(t, a, fixtureDir)
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		pos     string
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" -> expectations
+	for _, f := range files {
+		filename := fset.Position(f.Package).Filename
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			t.Fatalf("re-read fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := filename + ":" + strconv.Itoa(i+1)
+			for _, q := range wantArgRE.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+				}
+				wants[key] = append(wants[key], &want{re: re, raw: pat, pos: key})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := d.Pos.Filename + ":" + strconv.Itoa(d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.raw)
+			}
+		}
+	}
+}
+
+// analyze loads and type-checks the fixture and runs the analyzer via
+// lint.RunPackage (so suppression and annotation validation apply).
+func analyze(t *testing.T, a *lint.Analyzer, fixtureDir string) ([]lint.Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	pkgPath := "fixture/" + filepath.Base(fixtureDir)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		full := filepath.Join(fixtureDir, e.Name())
+		src, err := os.ReadFile(full)
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		if m := pathDirectiveRE.FindSubmatch(src); m != nil {
+			pkgPath = string(m[1])
+		}
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse fixture %s: %v", full, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", fixtureDir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: lint.NewStdImporter(fset, fixtureDir),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-check fixture %s: %v", fixtureDir, err)
+	}
+	pkg := &lint.Package{Path: pkgPath, Dir: fixtureDir, Fset: fset, Files: files, Types: tpkg, Info: info}
+
+	const modulePath = "supg"
+	diags := lint.RunPackage(modulePath, pkg, []*lint.Analyzer{a}, lint.All())
+	return diags, fset, files
+}

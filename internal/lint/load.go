@@ -1,0 +1,394 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked unit: a directory's library files plus
+// its in-package test files (or, for XTest, the external _test
+// package's files alone).
+type Package struct {
+	// Path is the import path ("<module>/_test"-suffixed for external
+	// test packages).
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+	// XTest marks the external test package variant.
+	XTest bool
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// IsTestFile reports whether f came from a _test.go file.
+func (p *Package) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// Module is a loaded, fully type-checked module tree.
+type Module struct {
+	Root     string
+	Path     string
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// FindModuleRoot walks up from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// Load parses and type-checks every package under the module rooted at
+// root, for the host build configuration (GOOS/GOARCH of this
+// process, cgo off). Imports — stdlib and module-internal alike — are
+// resolved from gc export data produced by `go list -export`, so the
+// loader works without network access or a vendored x/tools.
+func Load(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modBytes, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	m := moduleLineRE.FindSubmatch(modBytes)
+	if m == nil {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+	modPath := string(m[1])
+
+	fset := token.NewFileSet()
+	type dirFiles struct {
+		rel        string
+		lib, xtest []*ast.File
+	}
+	var dirs []*dirFiles
+	imports := map[string]bool{}
+
+	walkErr := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || !includeFileName(filepath.Base(path)) {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		if !buildConstraintsMatch(f) {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		var df *dirFiles
+		for _, d := range dirs {
+			if d.rel == rel {
+				df = d
+				break
+			}
+		}
+		if df == nil {
+			df = &dirFiles{rel: rel}
+			dirs = append(dirs, df)
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") && strings.HasSuffix(path, "_test.go") {
+			df.xtest = append(df.xtest, f)
+		} else {
+			df.lib = append(df.lib, f)
+		}
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p != "unsafe" && p != "C" {
+				imports[p] = true
+			}
+		}
+		return nil
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+
+	exp := newExportCache(root)
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	if err := exp.preload(paths); err != nil {
+		return nil, err
+	}
+	imp := importer.ForCompiler(fset, "gc", exp.open)
+
+	mod := &Module{Root: root, Path: modPath, Fset: fset}
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].rel < dirs[j].rel })
+	for _, df := range dirs {
+		ipath := modPath
+		if df.rel != "." {
+			ipath = modPath + "/" + filepath.ToSlash(df.rel)
+		}
+		if len(df.lib) > 0 {
+			pkg, err := checkUnit(fset, imp, ipath, filepath.Join(root, df.rel), df.lib, false)
+			if err != nil {
+				return nil, err
+			}
+			mod.Packages = append(mod.Packages, pkg)
+		}
+		if len(df.xtest) > 0 {
+			pkg, err := checkUnit(fset, imp, ipath+"_test", filepath.Join(root, df.rel), df.xtest, true)
+			if err != nil {
+				return nil, err
+			}
+			mod.Packages = append(mod.Packages, pkg)
+		}
+	}
+	return mod, nil
+}
+
+// NewStdImporter returns an importer over gc export data rooted at
+// dir's module, for type-checking standalone fixture packages.
+func NewStdImporter(fset *token.FileSet, dir string) types.Importer {
+	exp := newExportCache(dir)
+	return importer.ForCompiler(fset, "gc", exp.open)
+}
+
+func checkUnit(fset *token.FileSet, imp types.Importer, path, dir string, files []*ast.File, xtest bool) (*Package, error) {
+	sort.Slice(files, func(i, j int) bool {
+		return fset.Position(files[i].Package).Filename < fset.Position(files[j].Package).Filename
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if len(terrs) > 0 {
+		max := len(terrs)
+		if max > 5 {
+			max = 5
+		}
+		msgs := make([]string, 0, max)
+		for _, e := range terrs[:max] {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("lint: type-check %s: %s", path, strings.Join(msgs, "; "))
+	}
+	return &Package{Path: path, Dir: dir, XTest: xtest, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// exportCache maps import paths to gc export-data files via
+// `go list -export`, batching the initial known set into one call.
+type exportCache struct {
+	dir   string
+	mu    sync.Mutex
+	files map[string]string
+}
+
+func newExportCache(dir string) *exportCache {
+	return &exportCache{dir: dir, files: map[string]string{}}
+}
+
+func (c *exportCache) preload(paths []string) error {
+	if len(paths) == 0 {
+		return nil
+	}
+	args := append([]string{"list", "-export", "-f", "{{.ImportPath}}\t{{.Export}}"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = c.dir
+	out, err := cmd.Output()
+	if err != nil {
+		detail := ""
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			detail = ": " + strings.TrimSpace(string(ee.Stderr))
+		}
+		return fmt.Errorf("lint: go list -export failed%s (%v)", detail, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		ip, file, ok := strings.Cut(line, "\t")
+		if ok && file != "" {
+			c.files[ip] = file
+		}
+	}
+	return nil
+}
+
+// open serves gc export data for path, falling back to a one-off
+// `go list -export` for transitively referenced packages that were
+// not in the preloaded set.
+func (c *exportCache) open(path string) (io.ReadCloser, error) {
+	c.mu.Lock()
+	file, ok := c.files[path]
+	c.mu.Unlock()
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		cmd.Dir = c.dir
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("lint: go list -export %s: %v", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("lint: no export data for %s", path)
+		}
+		c.mu.Lock()
+		c.files[path] = file
+		c.mu.Unlock()
+	}
+	return os.Open(file)
+}
+
+// includeFileName applies the toolchain's file-name rules for the host
+// configuration: no leading _ or ., and any _GOOS/_GOARCH suffix must
+// match this process's GOOS/GOARCH.
+func includeFileName(name string) bool {
+	if strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+		return false
+	}
+	base := strings.TrimSuffix(name, ".go")
+	base = strings.TrimSuffix(base, "_test")
+	parts := strings.Split(base, "_")
+	// Check the last one or two _-separated tokens against the known
+	// OS/arch lists, mirroring go/build's goodOSArchFile.
+	n := len(parts)
+	if n >= 3 && knownOS[parts[n-2]] && knownArch[parts[n-1]] {
+		return parts[n-2] == runtime.GOOS && parts[n-1] == runtime.GOARCH
+	}
+	if n >= 2 {
+		last := parts[n-1]
+		if knownOS[last] {
+			return last == runtime.GOOS
+		}
+		if knownArch[last] {
+			return last == runtime.GOARCH
+		}
+	}
+	return true
+}
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// buildConstraintsMatch evaluates a //go:build line (above the package
+// clause) against the host configuration with cgo off.
+func buildConstraintsMatch(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed constraint: let the real build complain
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH, "gc":
+					return true
+				case "unix":
+					return unixOS[runtime.GOOS]
+				case "cgo", "gccgo":
+					return false
+				}
+				if v, ok := strings.CutPrefix(tag, "go1."); ok {
+					if n, err := strconv.Atoi(v); err == nil {
+						return n <= goMinorVersion()
+					}
+				}
+				return false
+			})
+		}
+	}
+	return true
+}
+
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+func goMinorVersion() int {
+	v := runtime.Version() // e.g. "go1.24.0"
+	v = strings.TrimPrefix(v, "go1.")
+	if i := strings.IndexByte(v, '.'); i >= 0 {
+		v = v[:i]
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 99 // devel builds: assume newest
+	}
+	return n
+}

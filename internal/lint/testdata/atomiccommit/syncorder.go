@@ -1,0 +1,56 @@
+package fixture
+
+import "os"
+
+// manifestLog stands in for the storage manifest: append* methods on
+// it are durable-log appends.
+type manifestLog struct{ f *os.File }
+
+func (m *manifestLog) appendRecord(rec []byte) error {
+	if _, err := m.f.Write(rec); err != nil {
+		return err
+	}
+	return m.f.Sync()
+}
+
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// unsyncedAppend writes segment bytes and appends the manifest record
+// without an fsync in between: a crash can commit metadata for bytes
+// that were never made durable.
+func unsyncedAppend(m *manifestLog, data *os.File, rec []byte) error {
+	if _, err := data.Write(rec); err != nil {
+		return err
+	}
+	return m.appendRecord(rec) // want `raw file write can reach this manifest/WAL append without an fsync`
+}
+
+// syncedAppend fsyncs the data file first: clean.
+func syncedAppend(m *manifestLog, data *os.File, rec []byte) error {
+	if _, err := data.Write(rec); err != nil {
+		return err
+	}
+	if err := data.Sync(); err != nil {
+		return err
+	}
+	return m.appendRecord(rec)
+}
+
+// helperSynced flushes durability through a sync helper function:
+// also clean.
+func helperSynced(m *manifestLog, data *os.File, dir string, rec []byte) error {
+	if _, err := data.Write(rec); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return m.appendRecord(rec)
+}

@@ -1,0 +1,23 @@
+//supglinttest:path supg/internal/storage
+
+// Package fixture seeds raw file operations that bypass the fsync'd
+// tmp→rename commit path.
+package fixture
+
+import "os"
+
+func renames(dir string) error {
+	return os.Rename(dir+"/seg.tmp", dir+"/seg.supg") // want `direct os\.Rename bypasses the fsync'd tmp→rename commit path`
+}
+
+func writesWhole(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `direct os\.WriteFile bypasses the fsync'd tmp→rename commit path`
+}
+
+func creates(path string) (*os.File, error) {
+	return os.Create(path) // want `direct os\.Create bypasses the fsync'd tmp→rename commit path`
+}
+
+func opensForCreate(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644) // want `direct os\.OpenFile with O_CREATE bypasses the fsync'd tmp→rename commit path`
+}

@@ -1,0 +1,68 @@
+//supglinttest:path supg/internal/engine
+
+// Package fixture simulates a CI-gated benchmark battery
+// (internal/engine): missing b.ReportAllocs is an error here.
+package fixture
+
+import "testing"
+
+func BenchmarkMetricBeforeReset(b *testing.B) {
+	b.ReportAllocs()
+	n := 0
+	b.ReportMetric(float64(n), "rows/op") // want `b\.ReportMetric before b\.ResetTimer: ResetTimer deletes user-reported metrics`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n++
+	}
+}
+
+func BenchmarkImbalanced(b *testing.B) { // want `unbalanced b\.StopTimer/b\.StartTimer \(1 stop, 0 start\)`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+	}
+	b.StopTimer()
+}
+
+func BenchmarkMissingAllocs(b *testing.B) { // want `BenchmarkMissingAllocs is in a CI-gated benchmark battery but never calls b\.ReportAllocs`
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+func BenchmarkClean(b *testing.B) {
+	b.ReportAllocs()
+	b.StopTimer()
+	n := prepare()
+	b.StartTimer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n++
+	}
+	b.ReportMetric(float64(n), "rows/op")
+}
+
+func BenchmarkSubs(b *testing.B) {
+	b.Run("missing", func(b *testing.B) { // want `BenchmarkSubs sub-benchmark is in a CI-gated benchmark battery but never calls b\.ReportAllocs`
+		for i := 0; i < b.N; i++ {
+		}
+	})
+	b.Run("clean", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+		}
+	})
+}
+
+func BenchmarkAnnotated(b *testing.B) {
+	b.ReportAllocs()
+	//supg:benchhygiene-ok deliberate for the fixture: the metric is re-reported after the loop below
+	b.ReportMetric(1, "configs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+	}
+	b.ReportMetric(1, "configs")
+}
+
+// BenchmarkShaped is not a real benchmark (wrong signature): ignored.
+func BenchmarkShaped(n int) int { return n }
+
+func prepare() int { return 0 }

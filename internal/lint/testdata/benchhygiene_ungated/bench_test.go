@@ -1,0 +1,19 @@
+//supglinttest:path supg/internal/sampling
+
+// Package fixture simulates a package outside the gated benchmark
+// batteries: ReportAllocs is optional, the mechanics rules still hold.
+package fixture
+
+import "testing"
+
+func BenchmarkNoAllocsFine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+func BenchmarkMetricStillChecked(b *testing.B) {
+	b.ReportMetric(1, "x/op") // want `b\.ReportMetric before b\.ResetTimer`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+	}
+}

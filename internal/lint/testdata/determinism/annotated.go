@@ -1,0 +1,40 @@
+package fixture
+
+import "sort"
+
+// suppressed iterates a map but restores determinism by sorting; the
+// annotation documents that and silences the finding. Removing the
+// annotation makes the identical site in violations.go-style fail.
+func suppressed(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	//supg:nondeterminism-ok iteration feeds a set; order is restored by the sort below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// suppressedSameLine carries the annotation on the flagged line.
+func suppressedSameLine(m map[int]struct{}) int {
+	n := 0
+	for range m { //supg:nondeterminism-ok pure count; order cannot escape
+		n++
+	}
+	return n
+}
+
+//supg:nondeterminism-ok nothing on the next line is flagged // want `unused //supg:nondeterminism-ok annotation`
+func unusedAnnotation() {}
+
+//supg:nondeterminism-ok // want `annotation without a reason`
+func missingReason(m map[string]int) int {
+	n := 0
+	for range m { // want `map iteration order is randomized per run`
+		n++
+	}
+	return n
+}
+
+//supg:frobnicate-ok some reason // want `unknown supg annotation key "frobnicate"`
+func unknownKey() {}

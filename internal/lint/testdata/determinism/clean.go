@@ -1,0 +1,38 @@
+package fixture
+
+import "math/rand"
+
+// seededRand builds an explicitly seeded generator: allowed — the
+// stream is a pure function of the seed.
+func seededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// sliceOrder iterates a slice: deterministic, not flagged.
+func sliceOrder(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// mapWrite only writes into a map — no iteration, not flagged.
+func mapWrite(keys []string) map[string]int {
+	m := make(map[string]int, len(keys))
+	for i, k := range keys {
+		m[k] = i
+	}
+	return m
+}
+
+// singleRecvSelect has one receive plus a default: no fan-in
+// ordering, not flagged.
+func singleRecvSelect(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}

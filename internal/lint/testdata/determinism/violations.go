@@ -1,0 +1,51 @@
+//supglinttest:path supg/internal/core
+
+// Package fixture seeds one deliberate violation of every determinism
+// rule; the `// want` comments pin the exact diagnostics.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in result-path code`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in result-path code`
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want `global rand\.Float64 bypasses the seeded per-query random stream`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle bypasses`
+}
+
+func mapOrder(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want `map iteration order is randomized per run`
+		out = append(out, v)
+	}
+	return out
+}
+
+func chanFanIn(ch chan int) []int {
+	var out []int
+	for v := range ch { // want `range over a channel yields values in goroutine completion order`
+		out = append(out, v)
+	}
+	return out
+}
+
+func selectFanIn(a, b chan int) int {
+	select { // want `select over multiple ready receives picks a case pseudo-randomly`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,63 @@
+//supglinttest:path supg/internal/oracle
+
+// Package fixture stands in for internal/oracle: the Label boundary
+// rule only applies under this package path.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transient and Permanent mirror the real oracle markers; the
+// analyzer resolves them by package path, so these count.
+func Transient(err error) error { return err }
+func Permanent(err error) error { return err }
+
+var errBudget = errors.New("budget exhausted")
+
+type backend struct{}
+
+// Label is a pipeline boundary: minted errors must carry a class.
+func (backend) Label(i int) (bool, error) {
+	if i < 0 {
+		return false, errors.New("negative index") // want `unclassified errors\.New at the Label boundary`
+	}
+	if i > 1<<20 {
+		return false, fmt.Errorf("record %d out of range", i) // want `unclassified fmt\.Errorf at the Label boundary`
+	}
+	return true, nil
+}
+
+// LabelBatch shows the clean patterns: classified wraps and %w chains
+// pass.
+func (backend) LabelBatch(idx []int) ([]bool, error) {
+	if len(idx) == 0 {
+		return nil, Permanent(errors.New("empty batch"))
+	}
+	if len(idx) > 1<<20 {
+		return nil, Transient(fmt.Errorf("batch of %d too large", len(idx)))
+	}
+	if idx[0] < 0 {
+		return nil, fmt.Errorf("%w (batch)", errBudget)
+	}
+	return make([]bool, len(idx)), nil
+}
+
+// helper is not a boundary function: minted errors here are judged at
+// the call site that returns them across the boundary, not flagged.
+func helper() error {
+	return errors.New("internal detail")
+}
+
+// LabelAll returning a nested literal's error is outside the rule:
+// function literals are separate scopes.
+func (backend) LabelAll(idx []int) error {
+	run := func() error {
+		return errors.New("inner closure error")
+	}
+	if err := run(); err != nil {
+		return fmt.Errorf("oracle: %w", err)
+	}
+	return nil
+}

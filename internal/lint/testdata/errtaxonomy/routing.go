@@ -1,0 +1,31 @@
+package fixture
+
+import (
+	"errors"
+	"strings"
+)
+
+func routesBySubstring(err error) bool {
+	return strings.Contains(err.Error(), "unknown table") // want `error routed by err\.Error\(\) message text`
+}
+
+func routesByPrefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "oracle:") // want `error routed by err\.Error\(\) message text`
+}
+
+func routesByEquality(err error) bool {
+	return err.Error() == "oracle: unavailable" // want `error routed by comparing err\.Error\(\) text`
+}
+
+func routesBySentinel(err error) bool {
+	return errors.Is(err, errSentinel)
+}
+
+func plainStrings(s string) bool {
+	return strings.Contains(s, "unknown table")
+}
+
+// logsMessage just surfaces the text without routing on it: allowed.
+func logsMessage(err error) string {
+	return "failed: " + err.Error()
+}

@@ -1,0 +1,53 @@
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+type walError struct{ msg string }
+
+func (e *walError) Error() string { return e.msg }
+
+func flattens(err error) error {
+	return fmt.Errorf("oracle failed: %v", err) // want `error operand formatted with %v severs the unwrap chain`
+}
+
+func flattensString(err error) error {
+	return fmt.Errorf("oracle failed: %s", err) // want `error operand formatted with %s severs the unwrap chain`
+}
+
+func flattensTyped(e *walError) error {
+	return fmt.Errorf("wal: %v", e) // want `error operand formatted with %v severs the unwrap chain`
+}
+
+func flattensWithStar(err error, width int) error {
+	return fmt.Errorf("pad %*d: %v", width, 7, err) // want `error operand formatted with %v severs the unwrap chain`
+}
+
+func wraps(err error) error {
+	return fmt.Errorf("oracle failed: %w", err)
+}
+
+func wrapsIndexed(err error) error {
+	return fmt.Errorf("attempt %[2]d: %[1]w", err, 3)
+}
+
+func nonErrorOperands(n int, s string) error {
+	return fmt.Errorf("n=%v s=%s literal=%%v", n, s)
+}
+
+func messageOnly(err error) string {
+	return fmt.Sprintf("display: %v", err) // Sprintf builds text, not an error chain: allowed
+}
+
+func suppressedFlatten(err error) error {
+	//supg:errtaxonomy-ok diagnostic string for humans; the classified error is returned separately
+	return fmt.Errorf("summary: %v", err)
+}
+
+var errSentinel = errors.New("sentinel")
+
+func wrapsSentinel(i int) error {
+	return fmt.Errorf("%w (record %d)", errSentinel, i)
+}

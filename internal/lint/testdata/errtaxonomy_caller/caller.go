@@ -1,0 +1,31 @@
+//supglinttest:path supg/internal/server
+
+// Package fixture simulates a caller package (internal/server): the
+// wrap and message-routing rules apply, the Label boundary rule does
+// not — it is oracle-only.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Label here is just a method name collision, not the oracle boundary:
+// minting a plain error is fine outside internal/oracle.
+type notAnOracle struct{}
+
+func (notAnOracle) Label(i int) (bool, error) {
+	if i < 0 {
+		return false, errors.New("bad request")
+	}
+	return true, nil
+}
+
+func flattensInCaller(err error) error {
+	return fmt.Errorf("handler: %v", err) // want `error operand formatted with %v severs the unwrap chain`
+}
+
+func routesInCaller(err error) bool {
+	return strings.Contains(err.Error(), "unknown table") // want `error routed by err\.Error\(\) message text`
+}

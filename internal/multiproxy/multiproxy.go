@@ -395,7 +395,7 @@ func assembleResult(scores []float64, tr core.TauResult, budgeted *oracle.Budget
 		}
 	}
 	out := make([]int, 0, len(include))
-	for i := range include {
+	for i := range include { //supg:nondeterminism-ok set membership only; out is sorted before it is returned
 		out = append(out, i)
 	}
 	sort.Ints(out)

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -71,7 +72,7 @@ func (s *Simulated) WithLatency(d time.Duration) *Simulated {
 // Label implements Oracle.
 func (s *Simulated) Label(i int) (bool, error) {
 	if i < 0 || i >= s.data.Len() {
-		return false, fmt.Errorf("oracle: record %d out of range [0,%d)", i, s.data.Len())
+		return false, Permanent(fmt.Errorf("oracle: record %d out of range [0,%d)", i, s.data.Len()))
 	}
 	if s.latency > 0 {
 		time.Sleep(s.latency)
@@ -446,5 +447,6 @@ func (b *Budgeted) LabeledPositives() []int {
 			out = append(out, k)
 		}
 	}
+	sort.Ints(out)
 	return out
 }

@@ -435,7 +435,7 @@ func (s *Server) handleAppendDataset(w http.ResponseWriter, name string, extra *
 	s.mu.Unlock()
 	if err != nil {
 		code := http.StatusBadRequest
-		if strings.Contains(err.Error(), "unknown table") {
+		if errors.Is(err, engine.ErrUnknownTable) {
 			code = http.StatusNotFound
 		}
 		httpError(w, code, err.Error())
