@@ -10,8 +10,8 @@ COVER_FLOOR ?= 79.1
 SMOKE_N ?= 65536
 
 # The hot-path trajectory battery (see bench-json / bench-check).
-BENCH_HOTPATH_ENGINE = SelectHotPath$$|SelectHotPathQuantized$$
-BENCH_HOTPATH_INDEX = PermScan|IndexBuildQuantized|IndexAppend
+BENCH_HOTPATH_ENGINE = SelectHotPath$$|SelectHotPathQuantized$$|SelectMixtureWarm
+BENCH_HOTPATH_INDEX = PermScan|AscendMerge|ParallelCount|IndexBuildQuantized|IndexAppend
 
 .PHONY: all build test test-race vet lint lint-fix fmt-check bench bench-json bench-check bench-labelstore bench-multiproxy bench-storage cover cover-check fuzz-smoke chaos-smoke profile
 
@@ -100,8 +100,10 @@ bench:
 	$(GO) test . -bench . -run '^$$'
 
 # Records the hot-path benchmark battery — steady-state select (float
-# and quantized), the quantized permutation scan vs the float scan,
-# quantized index build, and incremental append — into
+# and quantized), the mixture-warm spread-column select, the quantized
+# permutation scan vs the float scan, the loser-tree vs heap merge,
+# the parallel count reduction, quantized index build, and incremental
+# append — into
 # BENCH_hotpath.json, committed per PR: a "full" section at paper
 # scale (n=1e6) for the human-readable trajectory and a "smoke"
 # section at SMOKE_N that bench-check diffs in CI. ns/op is recorded
@@ -110,7 +112,7 @@ bench-json:
 	{ $(GO) test ./internal/engine -bench '$(BENCH_HOTPATH_ENGINE)' -benchmem -run '^$$' && \
 	  $(GO) test ./internal/index -bench '$(BENCH_HOTPATH_INDEX)' -benchmem -run '^$$'; } | \
 	  $(GO) run ./cmd/bench-gate emit -out BENCH_hotpath.json -section full -n 1000000 \
-	    -note "Hot-path trajectory: steady-state SUPG select (float vs 16-bit quantized index, byte-identical results), dense permutation scan traffic (scan-bytes/rec 8 vs 2), quantized build, and incremental append. ns/op recorded but not gated (noisy on shared VMs); CI gates allocs/op and bytes/op against the smoke section."
+	    -note "Hot-path trajectory: steady-state SUPG select (float vs 16-bit quantized index, byte-identical results), mixture-warm select on a spread column (quantized <= float with scan-bytes/rec 2 vs 8), dense permutation scan traffic, loser-tree vs heap k-way merge, parallel count reduction, quantized build, and incremental append. ns/op recorded but not gated (noisy on shared VMs); CI gates allocs/op and bytes/op against the smoke section."
 	{ SUPG_BENCH_N=$(SMOKE_N) $(GO) test ./internal/engine -bench '$(BENCH_HOTPATH_ENGINE)' -benchmem -run '^$$' && \
 	  SUPG_BENCH_N=$(SMOKE_N) $(GO) test ./internal/index -bench '$(BENCH_HOTPATH_INDEX)' -benchmem -run '^$$'; } | \
 	  $(GO) run ./cmd/bench-gate emit -out BENCH_hotpath.json -section smoke -n $(SMOKE_N)

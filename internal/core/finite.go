@@ -33,8 +33,8 @@ import (
 
 // estimateFiniteRecall implements the exact finite-sample RT estimator
 // over a uniform sample.
-func estimateFiniteRecall(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec) (TauResult, error) {
-	s, err := drawUniform(r, src.Scores(), o, spec.Budget)
+func estimateFiniteRecall(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, ar *arena) (TauResult, error) {
+	s, err := drawUniform(r, src.Scores(), o, spec.Budget, ar)
 	if err != nil {
 		return TauResult{}, err
 	}

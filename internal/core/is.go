@@ -20,14 +20,14 @@ import (
 // estimateISRecall implements Algorithm 4. It reuses the Algorithm 2
 // body on an importance-weighted sample: the reweighted indicators
 // O(x)·m(x) make the UB/LB machinery estimate dataset-level recall.
-func estimateISRecall(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+func estimateISRecall(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config, ar *arena) (TauResult, error) {
 	weights, alias := src.Mixture(cfg.WeightExponent, cfg.Mix)
-	s, err := drawWeightedAlias(r, src.Scores(), weights, alias, o, spec.Budget)
+	s, err := drawWeightedAlias(r, src.Scores(), weights, alias, o, spec.Budget, ar)
 	if err != nil {
 		return TauResult{}, err
 	}
 	b := newBounder(cfg, r.Stream(0xc0))
-	tau, err := recallThresholdWithCI(s, spec, b)
+	tau, err := recallThresholdWithCI(s, spec, b, ar)
 	if err != nil {
 		return TauResult{Tau: selectAllTau, Labeled: s.labels, OracleCalls: s.calls}, err
 	}
@@ -74,25 +74,25 @@ func (ix *scoreIndex) kthHighest(k int) float64 {
 // importance sampling and divide by the exactly known |D(τ)|. This
 // keeps the estimator unbiased under weighted sampling, whereas the
 // plain subset-mean of Algorithm 3 is only unbiased for uniform draws.
-func estimateISPrecision(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+func estimateISPrecision(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config, ar *arena) (TauResult, error) {
 	if cfg.TwoStage {
-		return estimateISPrecisionTwoStage(r, src, o, spec, cfg)
+		return estimateISPrecisionTwoStage(r, src, o, spec, cfg, ar)
 	}
-	return estimateISPrecisionOneStage(r, src, o, spec, cfg)
+	return estimateISPrecisionOneStage(r, src, o, spec, cfg, ar)
 }
 
-func estimateISPrecisionOneStage(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+func estimateISPrecisionOneStage(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config, ar *arena) (TauResult, error) {
 	weights, alias := src.Mixture(cfg.WeightExponent, cfg.Mix)
-	s, err := drawWeightedAlias(r, src.Scores(), weights, alias, o, spec.Budget)
+	s, err := drawWeightedAlias(r, src.Scores(), weights, alias, o, spec.Budget, ar)
 	if err != nil {
 		return TauResult{}, err
 	}
 	b := newBounder(cfg, r.Stream(0xc1))
-	tau := certifyMinPrecisionTau(s, src, float64(src.Len()), spec, cfg, b, spec.Delta)
+	tau := certifyMinPrecisionTau(s, src, float64(src.Len()), spec, cfg, b, spec.Delta, ar)
 	return TauResult{Tau: tau, Labeled: s.labels, OracleCalls: s.calls}, nil
 }
 
-func estimateISPrecisionTwoStage(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+func estimateISPrecisionTwoStage(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config, ar *arena) (TauResult, error) {
 	scores := src.Scores()
 	n := len(scores)
 	weights, alias := src.Mixture(cfg.WeightExponent, cfg.Mix)
@@ -101,11 +101,11 @@ func estimateISPrecisionTwoStage(r *randx.Rand, src ScoreSource, o *oracle.Budge
 	// Stage 1: estimate an upper bound on the number of matches with
 	// half the budget, spending half the failure probability.
 	half := spec.Budget / 2
-	s0, err := drawWeightedAlias(r.Stream(1), scores, weights, alias, o, half)
+	s0, err := drawWeightedAlias(r.Stream(1), scores, weights, alias, o, half, ar)
 	if err != nil {
 		return TauResult{}, err
 	}
-	z := make([]float64, s0.len())
+	z := ar.floats(s0.len())
 	for i := range z {
 		z[i] = s0.label[i] * s0.m[i]
 	}
@@ -126,13 +126,13 @@ func estimateISPrecisionTwoStage(r *randx.Rand, src ScoreSource, o *oracle.Budge
 
 	// Stage 2: weighted sampling within D', candidate certification with
 	// the remaining half of the budget and failure probability.
-	s1, err := drawWeightedSubset(r.Stream(2), scores, subset, weights, o, spec.Budget-half)
+	s1, err := drawWeightedSubset(r.Stream(2), scores, subset, weights, o, spec.Budget-half, ar)
 	if err != nil {
 		return TauResult{}, err
 	}
-	tau := certifyMinPrecisionTau(s1, src, float64(len(subset)), spec, cfg, b, spec.Delta/2)
+	tau := certifyMinPrecisionTau(s1, src, float64(len(subset)), spec, cfg, b, spec.Delta/2, ar)
 
-	labels := make(map[int]bool, len(s0.labels)+len(s1.labels))
+	labels := ar.labelMap(len(s0.labels) + len(s1.labels))
 	maps.Copy(labels, s0.labels)
 	maps.Copy(labels, s1.labels)
 	return TauResult{Tau: tau, Labeled: labels, OracleCalls: s0.calls + s1.calls}, nil
@@ -143,7 +143,7 @@ func estimateISPrecisionTwoStage(r *randx.Rand, src ScoreSource, o *oracle.Budge
 // certified above gamma with the given total failure probability split
 // across candidates by union bound. domainSize is the number of records
 // the sample's m(x) factors normalize over (|D| or |D'|).
-func certifyMinPrecisionTau(s *labeledSample, src ScoreSource, domainSize float64, spec Spec, cfg Config, b bounder, delta float64) float64 {
+func certifyMinPrecisionTau(s *labeledSample, src ScoreSource, domainSize float64, spec Spec, cfg Config, b bounder, delta float64, ar *arena) float64 {
 	n := s.len()
 	// Clamp the stride to the sample size so a budget below MinStep
 	// still yields one candidate (the full sample) instead of none —
@@ -156,7 +156,7 @@ func certifyMinPrecisionTau(s *labeledSample, src ScoreSource, domainSize float6
 	deltaEach := delta / float64(numCandidates)
 	rangeHint := math.Max(s.maxM, 1)
 
-	y := make([]float64, n)
+	y := ar.floats(n)
 	prev := math.Inf(-1)
 	for i := step; i <= n; i += step {
 		cand := s.score[i-1]

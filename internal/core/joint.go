@@ -105,7 +105,11 @@ func SelectJointFromContextOptions(ctx context.Context, r *randx.Rand, src Score
 		WithStore(sopts.Store, sopts.FreeReuse).WithChargeHook(sopts.OnCachedCharge)
 	stageBudgeted := oracle.NewBudgeted(budgeted, spec.StageBudget).WithContext(ctx)
 
-	tr, err := EstimateTauFrom(r, src, stageBudgeted, rtSpec, cfg)
+	// Arena scratch is safe here: candidate.Indices is a fresh heap
+	// slice and nothing else from the estimate outlives this call.
+	ar := acquireArena()
+	defer ar.release()
+	tr, err := estimateTau(r, src, stageBudgeted, rtSpec, cfg, ar)
 	if err != nil {
 		if err != ErrNoPositives {
 			// Surface the labels-folded-so-far diagnostic on oracle
@@ -115,7 +119,7 @@ func SelectJointFromContextOptions(ctx context.Context, r *randx.Rand, src Score
 		}
 		tr.Tau = selectAllTau // recall-safe fallback: verify everything
 	}
-	candidate := assembleFrom(src, tr)
+	candidate := assembleFrom(src, tr, ar)
 
 	// Stage 3: verify every candidate record; keep true positives.
 	labs, err := budgeted.LabelAll(candidate.Indices)

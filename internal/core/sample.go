@@ -25,51 +25,51 @@ type labeledSample struct {
 func (s *labeledSample) len() int { return len(s.idx) }
 
 // drawUniform collects k uniform-without-replacement labeled draws.
-func drawUniform(r *randx.Rand, scores []float64, o *oracle.Budgeted, k int) (*labeledSample, error) {
+func drawUniform(r *randx.Rand, scores []float64, o *oracle.Budgeted, k int, ar *arena) (*labeledSample, error) {
 	idx := sampling.UniformWithoutReplacement(r, len(scores), k)
-	m := make([]float64, len(idx))
+	m := ar.floats(len(idx))
 	for i := range m {
 		m[i] = 1
 	}
-	return labelDraws(scores, o, idx, m)
+	return labelDraws(scores, o, idx, m, ar)
 }
 
 // drawWeighted collects k with-replacement draws from the defensive
 // mixture over the given weights (already normalized to sum 1), with
 // m(x) = (1/n) / w(x). It builds a fresh alias table; hot paths with a
 // cached table use drawWeightedAlias instead.
-func drawWeighted(r *randx.Rand, scores []float64, weights []float64, o *oracle.Budgeted, k int) (*labeledSample, error) {
-	return drawWeightedAlias(r, scores, weights, sampling.NewAlias(weights), o, k)
+func drawWeighted(r *randx.Rand, scores []float64, weights []float64, o *oracle.Budgeted, k int, ar *arena) (*labeledSample, error) {
+	return drawWeightedAlias(r, scores, weights, sampling.NewAlias(weights), o, k, ar)
 }
 
 // drawWeightedAlias is drawWeighted with a prebuilt alias table for the
 // same weights (from ScoreSource.Mixture). Draw sequences are identical
 // to drawWeighted's for the same random stream, since an alias table is
 // a deterministic function of its weights.
-func drawWeightedAlias(r *randx.Rand, scores []float64, weights []float64, alias *sampling.Alias, o *oracle.Budgeted, k int) (*labeledSample, error) {
+func drawWeightedAlias(r *randx.Rand, scores []float64, weights []float64, alias *sampling.Alias, o *oracle.Budgeted, k int, ar *arena) (*labeledSample, error) {
 	if len(weights) != len(scores) {
 		return nil, fmt.Errorf("core: %d weights for %d scores", len(weights), len(scores))
 	}
 	if alias == nil || k <= 0 {
 		return nil, fmt.Errorf("core: weighted sampling produced no draws")
 	}
-	idx := alias.DrawN(r, k)
+	idx := alias.DrawNInto(r, ar.ints(k))
 	u := 1.0 / float64(len(scores))
-	m := make([]float64, len(idx))
+	m := ar.floats(len(idx))
 	for i, j := range idx {
 		m[i] = u / weights[j]
 	}
-	return labelDraws(scores, o, idx, m)
+	return labelDraws(scores, o, idx, m, ar)
 }
 
 // drawWeightedSubset draws k records from the subset of record indices
 // subset, with weights proportional to weightOf over the subset, and
 // m(x) = (1/|subset|) / w'(x) where w' is normalized within the subset.
-func drawWeightedSubset(r *randx.Rand, scores []float64, subset []int, weightOf []float64, o *oracle.Budgeted, k int) (*labeledSample, error) {
+func drawWeightedSubset(r *randx.Rand, scores []float64, subset []int, weightOf []float64, o *oracle.Budgeted, k int, ar *arena) (*labeledSample, error) {
 	if len(subset) == 0 {
 		return nil, fmt.Errorf("core: empty subset for weighted sampling")
 	}
-	w := make([]float64, len(subset))
+	w := ar.floats(len(subset))
 	total := 0.0
 	for i, j := range subset {
 		w[i] = weightOf[j]
@@ -86,13 +86,13 @@ func drawWeightedSubset(r *randx.Rand, scores []float64, subset []int, weightOf 
 		return nil, fmt.Errorf("core: weighted subset sampling produced no draws")
 	}
 	u := 1.0 / float64(len(subset))
-	idx := make([]int, len(local))
-	m := make([]float64, len(local))
+	idx := ar.ints(len(local))
+	m := ar.floats(len(local))
 	for i, li := range local {
 		idx[i] = subset[li]
 		m[i] = u / (w[li] / total)
 	}
-	return labelDraws(scores, o, idx, m)
+	return labelDraws(scores, o, idx, m, ar)
 }
 
 // labelDraws queries the oracle for each draw and assembles the sample,
@@ -101,22 +101,22 @@ func drawWeightedSubset(r *randx.Rand, scores []float64, subset []int, weightOf 
 // in an oracle.Dispatcher) fetches the labels with bounded parallelism;
 // the labels come back in draw order and the budget accounting matches
 // the sequential loop exactly, so results are identical either way.
-func labelDraws(scores []float64, o *oracle.Budgeted, idx []int, m []float64) (*labeledSample, error) {
+func labelDraws(scores []float64, o *oracle.Budgeted, idx []int, m []float64, ar *arena) (*labeledSample, error) {
 	before := o.Used()
 	s := &labeledSample{
-		idx:    make([]int, len(idx)),
-		score:  make([]float64, len(idx)),
-		label:  make([]float64, len(idx)),
-		m:      make([]float64, len(idx)),
-		labels: make(map[int]bool, len(idx)),
+		idx:    ar.ints(len(idx)),
+		score:  ar.floats(len(idx)),
+		label:  ar.floats(len(idx)),
+		m:      ar.floats(len(idx)),
+		labels: ar.labelMap(len(idx)),
 	}
-	order := make([]int, len(idx))
+	order := ar.ints(len(idx))
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return scores[idx[order[a]]] < scores[idx[order[b]]] })
 
-	sorted := make([]int, len(idx))
+	sorted := ar.ints(len(idx))
 	for pos, oi := range order {
 		sorted[pos] = idx[oi]
 	}
@@ -155,9 +155,9 @@ func (s *labeledSample) weightedPositiveTotal() float64 {
 // suffixPositive returns the array suf where suf[k] = Σ_{i>=k} O·m,
 // with one extra trailing 0 entry, so recall at threshold score[k]
 // (inclusive of ties handled by the caller) is suf[k]/total.
-func (s *labeledSample) suffixPositive() []float64 {
+func (s *labeledSample) suffixPositive(ar *arena) []float64 {
 	n := s.len()
-	suf := make([]float64, n+1)
+	suf := ar.floats(n + 1)
 	for i := n - 1; i >= 0; i-- {
 		suf[i] = suf[i+1] + s.label[i]*s.m[i]
 	}
@@ -168,12 +168,12 @@ func (s *labeledSample) suffixPositive() []float64 {
 // (reweighted) empirical recall of {A >= tau} is at least gamma — the
 // max{τ : Recall_S(τ) >= γ} primitive of Algorithms 2 and 4. The second
 // return is false when the sample has no positive mass.
-func (s *labeledSample) maxTauWithRecall(gamma float64) (float64, bool) {
+func (s *labeledSample) maxTauWithRecall(gamma float64, ar *arena) (float64, bool) {
 	total := s.weightedPositiveTotal()
 	if total <= 0 {
 		return 0, false
 	}
-	suf := s.suffixPositive()
+	suf := s.suffixPositive(ar)
 	n := s.len()
 	// Walk distinct score groups from the highest score downward; the
 	// first (largest) threshold whose suffix recall reaches gamma wins.

@@ -47,17 +47,17 @@ func TestMaxTauWithRecallBasic(t *testing.T) {
 		[]float64{0, 1, 0, 1, 1, 1},
 		nil)
 	// gamma=0.75: need 3 of 4 positives above tau -> tau = 0.6.
-	tau, ok := s.maxTauWithRecall(0.75)
+	tau, ok := s.maxTauWithRecall(0.75, nil)
 	if !ok || tau != 0.6 {
 		t.Fatalf("tau = %v, ok=%v; want 0.6", tau, ok)
 	}
 	// gamma=1.0: all positives -> tau = 0.2.
-	tau, _ = s.maxTauWithRecall(1.0)
+	tau, _ = s.maxTauWithRecall(1.0, nil)
 	if tau != 0.2 {
 		t.Fatalf("tau at gamma=1 is %v, want 0.2", tau)
 	}
 	// gamma=0.25: one positive suffices -> tau = 0.9.
-	tau, _ = s.maxTauWithRecall(0.25)
+	tau, _ = s.maxTauWithRecall(0.25, nil)
 	if tau != 0.9 {
 		t.Fatalf("tau at gamma=0.25 is %v, want 0.9", tau)
 	}
@@ -65,7 +65,7 @@ func TestMaxTauWithRecallBasic(t *testing.T) {
 
 func TestMaxTauWithRecallNoPositives(t *testing.T) {
 	s := makeSample([]float64{0.1, 0.5}, []float64{0, 0}, nil)
-	if _, ok := s.maxTauWithRecall(0.9); ok {
+	if _, ok := s.maxTauWithRecall(0.9, nil); ok {
 		t.Fatal("no positives should report !ok")
 	}
 }
@@ -77,7 +77,7 @@ func TestMaxTauWithRecallTies(t *testing.T) {
 		[]float64{1, 1, 1},
 		nil)
 	// gamma = 2/3: tau=0.5 gives recall 1 (ties grouped); tau=0.9 gives 1/3.
-	tau, _ := s.maxTauWithRecall(0.6667)
+	tau, _ := s.maxTauWithRecall(0.6667, nil)
 	if tau != 0.5 {
 		t.Fatalf("tau = %v, want 0.5 (tie group)", tau)
 	}
@@ -90,12 +90,12 @@ func TestMaxTauWithRecallWeighted(t *testing.T) {
 		[]float64{0.2, 0.8},
 		[]float64{1, 1},
 		[]float64{3, 1})
-	tau, _ := s.maxTauWithRecall(0.5)
+	tau, _ := s.maxTauWithRecall(0.5, nil)
 	// Keeping only 0.8 yields weighted recall 1/4 < 0.5: tau must be 0.2.
 	if tau != 0.2 {
 		t.Fatalf("weighted tau = %v, want 0.2", tau)
 	}
-	tau, _ = s.maxTauWithRecall(0.25)
+	tau, _ = s.maxTauWithRecall(0.25, nil)
 	if tau != 0.8 {
 		t.Fatalf("weighted tau at gamma=0.25 = %v, want 0.8", tau)
 	}
@@ -114,7 +114,7 @@ func TestMaxTauMonotoneInGamma(t *testing.T) {
 	s := makeSample(scores, labels, nil)
 	prev := math.Inf(1)
 	for _, g := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
-		tau, ok := s.maxTauWithRecall(g)
+		tau, ok := s.maxTauWithRecall(g, nil)
 		if !ok {
 			t.Skip("no positives in synthetic sample")
 		}
@@ -134,7 +134,7 @@ func TestWeightedPositiveTotal(t *testing.T) {
 
 func TestSuffixPositive(t *testing.T) {
 	s := makeSample([]float64{0.1, 0.5, 0.9}, []float64{1, 0, 1}, nil)
-	suf := s.suffixPositive()
+	suf := s.suffixPositive(nil)
 	want := []float64{2, 1, 1, 0}
 	for i := range want {
 		if suf[i] != want[i] {
@@ -161,7 +161,7 @@ func TestDrawUniformSortedAndBudgeted(t *testing.T) {
 	scores := []float64{0.9, 0.1, 0.5, 0.3, 0.7}
 	labels := []bool{true, false, false, false, true}
 	o := oracle.NewBudgeted(oracle.Func(func(i int) (bool, error) { return labels[i], nil }), 5)
-	s, err := drawUniform(randx.New(1), scores, o, 4)
+	s, err := drawUniform(randx.New(1), scores, o, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestDrawWeightedReweighting(t *testing.T) {
 	scores := []float64{0.0, 0.5, 1.0}
 	o := oracle.NewBudgeted(oracle.Func(func(i int) (bool, error) { return i == 2, nil }), 1000)
 	weights := sampling.DefensiveWeights(scores, 0.5, 0.1)
-	s, err := drawWeighted(randx.New(2), scores, weights, o, 500)
+	s, err := drawWeighted(randx.New(2), scores, weights, o, 500, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestDrawWeightedSubset(t *testing.T) {
 	o := oracle.NewBudgeted(oracle.Func(func(i int) (bool, error) { return scores[i] > 0.5, nil }), 1000)
 	weights := sampling.DefensiveWeights(scores, 0.5, 0.1)
 	subset := []int{2, 3}
-	s, err := drawWeightedSubset(randx.New(3), scores, subset, weights, o, 100)
+	s, err := drawWeightedSubset(randx.New(3), scores, subset, weights, o, 100, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +241,7 @@ func TestDrawWeightedSubset(t *testing.T) {
 func TestDrawUniformBudgetExceeded(t *testing.T) {
 	scores := []float64{0.1, 0.2, 0.3}
 	o := oracle.NewBudgeted(oracle.Func(func(i int) (bool, error) { return false, nil }), 2)
-	if _, err := drawUniform(randx.New(4), scores, o, 3); err == nil {
+	if _, err := drawUniform(randx.New(4), scores, o, 3, nil); err == nil {
 		t.Fatal("expected budget exhaustion error")
 	}
 }

@@ -24,6 +24,15 @@ func EstimateTau(r *randx.Rand, scores []float64, o *oracle.Budgeted, spec Spec,
 // construction across queries; results are identical to the raw-slice
 // path for the same random stream.
 func EstimateTauFrom(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
+	// nil arena: the returned TauResult (Labeled map included) escapes
+	// to the caller, so every buffer must be freshly owned.
+	return estimateTau(r, src, o, spec, cfg, nil)
+}
+
+// estimateTau is the arena-threaded dispatch behind EstimateTauFrom.
+// With a non-nil arena the TauResult's Labeled map and any scratch are
+// arena-owned and die when the calling Select releases it.
+func estimateTau(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config, ar *arena) (TauResult, error) {
 	if err := spec.Validate(); err != nil {
 		return TauResult{}, err
 	}
@@ -34,31 +43,31 @@ func EstimateTauFrom(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Sp
 
 	if cfg.FiniteSample {
 		if spec.Kind == RecallTarget {
-			return estimateFiniteRecall(r, src, o, spec)
+			return estimateFiniteRecall(r, src, o, spec, ar)
 		}
 		// Precision targets: Algorithm 3 with exact Clopper-Pearson
 		// certificates is finite-sample valid under uniform sampling.
 		cfg.Method = MethodUCI
 		cfg.Bound = BoundClopperPearson
-		return estimateUCIPrecision(r, src, o, spec, cfg)
+		return estimateUCIPrecision(r, src, o, spec, cfg, ar)
 	}
 
 	switch cfg.Method {
 	case MethodUNoCI:
 		if spec.Kind == RecallTarget {
-			return estimateUNoCIRecall(r, src, o, spec)
+			return estimateUNoCIRecall(r, src, o, spec, ar)
 		}
-		return estimateUNoCIPrecision(r, src, o, spec)
+		return estimateUNoCIPrecision(r, src, o, spec, ar)
 	case MethodUCI:
 		if spec.Kind == RecallTarget {
-			return estimateUCIRecall(r, src, o, spec, cfg)
+			return estimateUCIRecall(r, src, o, spec, cfg, ar)
 		}
-		return estimateUCIPrecision(r, src, o, spec, cfg)
+		return estimateUCIPrecision(r, src, o, spec, cfg, ar)
 	case MethodISCI:
 		if spec.Kind == RecallTarget {
-			return estimateISRecall(r, src, o, spec, cfg)
+			return estimateISRecall(r, src, o, spec, cfg, ar)
 		}
-		return estimateISPrecision(r, src, o, spec, cfg)
+		return estimateISPrecision(r, src, o, spec, cfg, ar)
 	}
 	return TauResult{}, fmt.Errorf("core: unknown method %v", cfg.Method)
 }
@@ -117,7 +126,9 @@ type SelectOptions struct {
 func SelectFromContextOptions(ctx context.Context, r *randx.Rand, src ScoreSource, orc oracle.Oracle, spec Spec, cfg Config, sopts SelectOptions) (Result, error) {
 	budgeted := oracle.NewBudgeted(orc, spec.Budget).WithContext(ctx).
 		WithStore(sopts.Store, sopts.FreeReuse).WithChargeHook(sopts.OnCachedCharge)
-	tr, err := EstimateTauFrom(r, src, budgeted, spec, cfg)
+	ar := acquireArena()
+	defer ar.release()
+	tr, err := estimateTau(r, src, budgeted, spec, cfg, ar)
 	if err != nil && !errors.Is(err, ErrNoPositives) {
 		// An unavailable oracle surfaces with the labels-folded-so-far
 		// count: the budget units already consumed are durable (memoized,
@@ -131,7 +142,7 @@ func SelectFromContextOptions(ctx context.Context, r *randx.Rand, src ScoreSourc
 		// empty R1) is the valid PT answer.
 		tr.Tau = noSelectionTau()
 	}
-	res := assembleFrom(src, tr)
+	res := assembleFrom(src, tr, ar)
 	res.CachedLabels = budgeted.StoreHits()
 	return res, nil
 }
@@ -139,7 +150,7 @@ func SelectFromContextOptions(ctx context.Context, r *randx.Rand, src ScoreSourc
 // assemble constructs Algorithm 1's R1 ∪ R2 from a threshold estimate
 // over a plain score slice.
 func assemble(scores []float64, tr TauResult) Result {
-	return assembleFrom(newRawSource(scores), tr)
+	return assembleFrom(newRawSource(scores), tr, nil)
 }
 
 // assembleFrom merges the presorted threshold suffix R2 with the
@@ -147,12 +158,13 @@ func assemble(scores []float64, tr TauResult) Result {
 // map-plus-full-sort construction this allocates only the result slice
 // and the positive list: R2 arrives in ascending id order from the
 // source, and the R1 records below the threshold are folded in with a
-// single backward merge.
-func assembleFrom(src ScoreSource, tr TauResult) Result {
+// single backward merge. The positive list is arena scratch; only the
+// result slice (Result.Indices) is a true heap allocation.
+func assembleFrom(src ScoreSource, tr TauResult, ar *arena) Result {
 	scores := src.Scores()
 
 	// R1: labeled positives, ascending by id.
-	pos := make([]int, 0, len(tr.Labeled))
+	pos := ar.intCap(len(tr.Labeled))
 	for i, lab := range tr.Labeled { //supg:nondeterminism-ok builds a set of positives; order is restored by the sort below
 		if lab {
 			pos = append(pos, i)
@@ -173,8 +185,10 @@ func assembleFrom(src ScoreSource, tr TauResult) Result {
 	}
 
 	if noThreshold {
+		// extra is arena scratch; the escaping Indices need their own
+		// memory.
 		return Result{
-			Indices:          extra,
+			Indices:          append(make([]int, 0, len(extra)), extra...),
 			Tau:              tr.Tau,
 			OracleCalls:      tr.OracleCalls,
 			SampledPositives: len(extra),

@@ -103,7 +103,7 @@ func TestAssembleFromMergesSampledPositives(t *testing.T) {
 	}
 	for name, res := range map[string]Result{
 		"raw":     assemble(scores, tr),
-		"indexed": assembleFrom(ix, tr),
+		"indexed": assembleFrom(ix, tr, nil),
 	} {
 		want := []int{0, 1, 2, 4, 5}
 		if len(res.Indices) != len(want) {

@@ -14,13 +14,13 @@ import (
 // threshold for the requested recall, inflates the recall target to γ'
 // to absorb sampling variation (via UB/LB on the above/below-threshold
 // positive indicator means), and re-solves for the threshold at γ'.
-func estimateUCIRecall(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
-	s, err := drawUniform(r, src.Scores(), o, spec.Budget)
+func estimateUCIRecall(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config, ar *arena) (TauResult, error) {
+	s, err := drawUniform(r, src.Scores(), o, spec.Budget, ar)
 	if err != nil {
 		return TauResult{}, err
 	}
 	b := newBounder(cfg, r.Stream(0xb0))
-	tau, err := recallThresholdWithCI(s, spec, b)
+	tau, err := recallThresholdWithCI(s, spec, b, ar)
 	if err != nil {
 		return TauResult{Tau: selectAllTau, Labeled: s.labels, OracleCalls: s.calls}, err
 	}
@@ -49,8 +49,8 @@ func minPositiveDraws(gamma, delta float64) int {
 // confidence bounds on Z1 (positives above the empirical threshold) and
 // Z2 (positives below), then re-solve. For uniform samples all m(x)==1
 // and this reduces exactly to Algorithm 2.
-func recallThresholdWithCI(s *labeledSample, spec Spec, b bounder) (float64, error) {
-	tauHat, ok := s.maxTauWithRecall(spec.Gamma)
+func recallThresholdWithCI(s *labeledSample, spec Spec, b bounder, ar *arena) (float64, error) {
+	tauHat, ok := s.maxTauWithRecall(spec.Gamma, ar)
 	if !ok {
 		return selectAllTau, ErrNoPositives
 	}
@@ -69,8 +69,8 @@ func recallThresholdWithCI(s *labeledSample, spec Spec, b bounder) (float64, err
 	}
 
 	n := s.len()
-	z1 := make([]float64, n)
-	z2 := make([]float64, n)
+	z1 := ar.floats(n)
+	z2 := ar.floats(n)
 	for i := 0; i < n; i++ {
 		v := s.label[i] * s.m[i]
 		if s.score[i] >= tauHat {
@@ -96,7 +96,7 @@ func recallThresholdWithCI(s *labeledSample, spec Spec, b bounder) (float64, err
 		// The inflated target can only be more conservative.
 		gammaPrime = spec.Gamma
 	}
-	tau, ok := s.maxTauWithRecall(gammaPrime)
+	tau, ok := s.maxTauWithRecall(gammaPrime, ar)
 	if !ok {
 		return selectAllTau, ErrNoPositives
 	}
@@ -115,8 +115,8 @@ func recallThresholdWithCI(s *labeledSample, spec Spec, b bounder) (float64, err
 // reading is the one consistent with the paper's minimum step size m
 // and its observation that the normal approximation needs 100+
 // samples.)
-func estimateUCIPrecision(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config) (TauResult, error) {
-	s, err := drawUniform(r, src.Scores(), o, spec.Budget)
+func estimateUCIPrecision(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, cfg Config, ar *arena) (TauResult, error) {
+	s, err := drawUniform(r, src.Scores(), o, spec.Budget, ar)
 	if err != nil {
 		return TauResult{}, err
 	}

@@ -12,12 +12,12 @@ import (
 // to ~75% of the time.
 
 // estimateUNoCIRecall implements Eq. 6: tau = max{τ : Recall_S(τ) >= γ}.
-func estimateUNoCIRecall(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec) (TauResult, error) {
-	s, err := drawUniform(r, src.Scores(), o, spec.Budget)
+func estimateUNoCIRecall(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, ar *arena) (TauResult, error) {
+	s, err := drawUniform(r, src.Scores(), o, spec.Budget, ar)
 	if err != nil {
 		return TauResult{}, err
 	}
-	tau, ok := s.maxTauWithRecall(spec.Gamma)
+	tau, ok := s.maxTauWithRecall(spec.Gamma, ar)
 	if !ok {
 		return TauResult{Tau: selectAllTau, Labeled: s.labels, OracleCalls: s.calls}, ErrNoPositives
 	}
@@ -27,22 +27,22 @@ func estimateUNoCIRecall(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spe
 // estimateUNoCIPrecision implements Eq. 5: tau = min{τ : Precision_S(τ) >= γ},
 // with Precision_S the empirical precision among sampled records at or
 // above τ.
-func estimateUNoCIPrecision(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec) (TauResult, error) {
-	s, err := drawUniform(r, src.Scores(), o, spec.Budget)
+func estimateUNoCIPrecision(r *randx.Rand, src ScoreSource, o *oracle.Budgeted, spec Spec, ar *arena) (TauResult, error) {
+	s, err := drawUniform(r, src.Scores(), o, spec.Budget, ar)
 	if err != nil {
 		return TauResult{}, err
 	}
-	tau := minTauWithEmpiricalPrecision(s, spec.Gamma)
+	tau := minTauWithEmpiricalPrecision(s, spec.Gamma, ar)
 	return TauResult{Tau: tau, Labeled: s.labels, OracleCalls: s.calls}, nil
 }
 
 // minTauWithEmpiricalPrecision scans candidate thresholds (distinct
 // sampled scores, ascending) and returns the smallest whose empirical
 // sample precision meets gamma, or noSelectionTau when none does.
-func minTauWithEmpiricalPrecision(s *labeledSample, gamma float64) float64 {
+func minTauWithEmpiricalPrecision(s *labeledSample, gamma float64, ar *arena) float64 {
 	n := s.len()
 	// Suffix sums of positives for O(1) precision at each group start.
-	sufPos := make([]float64, n+1)
+	sufPos := ar.floats(n + 1)
 	for i := n - 1; i >= 0; i-- {
 		sufPos[i] = sufPos[i+1] + s.label[i]
 	}

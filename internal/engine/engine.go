@@ -30,6 +30,7 @@ import (
 	"supg/internal/metrics"
 	"supg/internal/multiproxy"
 	"supg/internal/oracle"
+	"supg/internal/parallel"
 	"supg/internal/query"
 	"supg/internal/randx"
 	"supg/internal/storage"
@@ -154,6 +155,16 @@ type Options struct {
 	// ~4x. Persisted quantized indexes carry their code vectors to disk
 	// and recover without recomputation.
 	Quantize bool
+	// QueryParallelism bounds the intra-query parallel segment
+	// reductions — threshold counts, id gathers, and mixture builds —
+	// across ALL concurrent queries of this engine: one shared
+	// parallel.Pool hands out at most QueryParallelism-1 helper
+	// goroutines engine-wide, and every query's submitting goroutine
+	// always participates, so queries degrade to sequential instead of
+	// queueing. <= 0 selects GOMAXPROCS; 1 disables intra-query
+	// parallelism. Results are byte-identical at every setting — only
+	// RNG-free, order-independent phases fan out.
+	QueryParallelism int
 	// LabelCacheBytes bounds the cross-query oracle label store shared
 	// by every query and job of this engine (0 selects
 	// labelstore.DefaultMaxBytes; negative disables label reuse
@@ -299,6 +310,7 @@ func Open(seed uint64, opts Options) (*Engine, error) {
 			SegmentSize: opts.SegmentSize,
 			Parallelism: opts.BuildParallelism,
 			Quantize:    opts.Quantize,
+			QueryPool:   parallel.NewPool(opts.QueryParallelism),
 		},
 		opts:     opts,
 		labels:   labels,

@@ -102,6 +102,50 @@ func BenchmarkSelectHotPathQuantized(b *testing.B) {
 	}
 }
 
+// BenchmarkSelectMixtureWarm measures the steady state the quantized
+// index was built for: a spread score column (Beta(2,2), no dominant
+// code bucket, so the 2-byte dense scan engages instead of tripping
+// the skew guard the way benchDataset's Beta(0.01,2) column does) with
+// the index and the defensive-mixture cache both warm. The float and
+// quantized sub-runs answer identical queries; the quantized one reads
+// 2 bytes per record in the threshold scan instead of 8, reported as
+// scan-bytes/rec and visible in ns/op.
+func BenchmarkSelectMixtureWarm(b *testing.B) {
+	d := dataset.Beta(randx.New(2401), benchN, 2, 2)
+	for _, quantize := range []bool{false, true} {
+		name := "float"
+		if quantize {
+			name = "quantized"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := NewWithOptions(42, Options{Quantize: quantize})
+			e.RegisterDatasetDefaults("video", d)
+			plan := benchPlan(b)
+			// Warm the index and the mixture/alias cache so the timed
+			// region is pure select: sample, estimate, scan, assemble.
+			if _, err := e.ExecutePlan(plan); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := e.ExecutePlan(plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.IndexBuilt {
+					b.Fatal("steady state rebuilt the index")
+				}
+			}
+			entry, built, err := e.tableIndex(plan)
+			if err != nil || built {
+				b.Fatalf("warm index lookup: built=%v err=%v", built, err)
+			}
+			b.ReportMetric(float64(entry.res.ix.ScanBytesPerRecord()), "scan-bytes/rec")
+		})
+	}
+}
+
 // BenchmarkSelectHotPathPreIndex reproduces the historical per-query
 // pipeline the ScoreIndex replaced: proxy scan over all n records,
 // score validation, threshold estimation over the raw slice (fresh

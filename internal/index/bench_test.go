@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"supg/internal/benchtool"
+	"supg/internal/parallel"
 	"supg/internal/randx"
 )
 
@@ -97,11 +98,86 @@ func BenchmarkPermScan(b *testing.B) {
 	}
 }
 
+// BenchmarkAscendMerge prices the k-way merge behind KthHighest and
+// threshold discovery: popping the top 4096 records from a segmented
+// index through the loser-tree Ascend versus the historical
+// container/heap merge it replaced (kept as the test oracle). Both
+// emit the identical stream; the tree does one comparison per level
+// with the quantized code inline instead of interface-dispatched sift
+// calls.
+func BenchmarkAscendMerge(b *testing.B) {
+	scores := benchScores(benchBuildN)
+	const topK = 4096
+	for _, quantize := range []bool{false, true} {
+		ix, err := NewWithOptions(scores, Options{SegmentSize: 128 << 10, Quantize: quantize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		suffix := ""
+		if quantize {
+			suffix = "-quantized"
+		}
+		for _, v := range []struct {
+			name   string
+			ascend func(func(int, float64) bool)
+		}{
+			{"loser-tree", ix.Ascend},
+			{"heap", ix.ascendHeap},
+		} {
+			ascend := v.ascend
+			b.Run(v.name+suffix, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					popped := 0
+					ascend(func(id int, score float64) bool {
+						popped++
+						return popped < topK
+					})
+					if popped != topK {
+						b.Fatalf("popped %d", popped)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelCount prices the parallel CountAtLeast reduction:
+// per-segment partial sums on the shared query pool versus the
+// sequential walk. Counts are integers, so the parallel sum is exact
+// and the reported value is identical at any worker count.
+func BenchmarkParallelCount(b *testing.B) {
+	scores := benchScores(benchBuildN)
+	const tau = 0.25
+	for _, par := range []int{1, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			// 16k-record segments put the index well past the >= 32
+			// segment gate that engages the parallel reduction.
+			ix, err := NewWithOptions(scores, Options{
+				SegmentSize: 16 << 10,
+				QueryPool:   parallel.NewPool(par),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			want := ix.CountAtLeast(tau)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := ix.CountAtLeast(tau); got != want {
+					b.Fatalf("count %d, want %d", got, want)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkIndexBuildQuantized prices quantized index construction
 // (the extra cost is one linear pass building both code vectors).
 func BenchmarkIndexBuildQuantized(b *testing.B) {
 	scores := benchScores(benchBuildN)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix, err := NewWithOptions(scores, Options{SegmentSize: 128 << 10, Parallelism: 1, Quantize: true})
 		if err != nil {

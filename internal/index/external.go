@@ -3,8 +3,9 @@ package index
 import (
 	"fmt"
 	"math"
-	"sync"
 	"sync/atomic"
+
+	"supg/internal/parallel"
 )
 
 // buildSorts counts segment permutation sorts performed process-wide by
@@ -115,7 +116,7 @@ func FromExternal(ext External, opts Options) (*ScoreIndex, error) {
 
 	segs := make([]*segment, len(ext.Segments))
 	errs := make([]error, len(ext.Segments))
-	parallelSegments(len(ext.Segments), opts.Parallelism, func(j int) {
+	parallel.Run(opts.Parallelism, len(ext.Segments), func(j int) {
 		sd := ext.Segments[j]
 		sub := ext.Column[sd.Base : sd.Base+len(sd.Perm)]
 		if err := verifySegmentData(sub, sd); err != nil {
@@ -154,6 +155,7 @@ func FromExternal(ext External, opts Options) (*ScoreIndex, error) {
 		segs:     segs,
 		segSize:  opts.SegmentSize,
 		par:      opts.Parallelism,
+		pool:     opts.QueryPool,
 		quant:    quant,
 		backing:  ext.Backing,
 		mixtures: make(map[MixtureKey]*mixture),
@@ -204,33 +206,4 @@ func verifySegmentData(sub []float64, sd SegmentData) error {
 		prevBits, prevID = bits, p
 	}
 	return nil
-}
-
-// parallelSegments runs fn(0..count-1) across a bounded worker pool.
-func parallelSegments(count, workers int, fn func(int)) {
-	if workers > count {
-		workers = count
-	}
-	if workers <= 1 {
-		for j := 0; j < count; j++ {
-			fn(j)
-		}
-		return
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				j := int(atomic.AddInt64(&next, 1))
-				if j >= count {
-					return
-				}
-				fn(j)
-			}
-		}()
-	}
-	wg.Wait()
 }

@@ -33,12 +33,13 @@
 //     order; segments partition the id space in order, so the
 //     concatenation is globally ascending — the degenerate k-way merge.
 //   - Ascend streams (id, score) pairs in global (score, id) order via
-//     a true k-way heap merge of the per-segment sorted runs — the
-//     explicit form of the global sorted view a monolithic index
-//     stores. The selection hot path itself needs only the primitives
-//     above; Ascend is the exported iteration surface for consumers
-//     that want the merged order, and the equivalence tests use it to
-//     pin the merge against a monolithic sort.
+//     a loser-tree k-way merge of the per-segment sorted runs (see
+//     losertree.go) — the explicit form of the global sorted view a
+//     monolithic index stores. The selection hot path itself needs only
+//     the primitives above; Ascend is the exported iteration surface
+//     for consumers that want the merged order, and the equivalence
+//     tests pin it against both the retained heap merge (ascendHeap)
+//     and a monolithic sort.
 //   - Mixture computes the defensive weights with the exact per-element
 //     operations and left-to-right summation order of
 //     sampling.DefensiveWeights (segments only parallelize the
@@ -71,6 +72,20 @@
 // A ScoreIndex is immutable after New/Append and safe for concurrent
 // use by any number of queries; the mixture cache is internally
 // synchronized.
+//
+// # Intra-query parallelism
+//
+// Per-segment reductions — CountAtLeast partial counts, AppendAtLeast
+// gathers into presized per-segment slots, and the mixture
+// transform/normalize passes — fan out across the shared query pool
+// (Options.QueryPool). Only phases whose outputs are independent of
+// worker assignment parallelize: integer partial sums commute exactly,
+// gathers write disjoint presized slots concatenated in fixed segment
+// order, and the mixture's global normalizing sum stays one sequential
+// left-to-right pass because float addition is not associative. The
+// random stream is never consumed off the submitting goroutine, so
+// results are byte-identical at every parallelism level (pinned by the
+// equivalence sweeps in parallel_query_test.go).
 package index
 
 import (
@@ -80,7 +95,9 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
+	"supg/internal/parallel"
 	"supg/internal/sampling"
 )
 
@@ -107,6 +124,15 @@ type Options struct {
 	// trades ~4 extra bits per record of resident memory for ~4x less
 	// scan traffic.
 	Quantize bool
+	// QueryPool bounds the intra-query parallel segment reductions —
+	// CountAtLeast partial counts, AppendAtLeast gathers, and the
+	// mixture transform/normalize passes. The pool is typically shared
+	// across every index of an engine (engine.Options.QueryParallelism);
+	// nil selects a private pool of Parallelism workers. Results are
+	// byte-identical at every setting: only phases whose outputs are
+	// order-independent (integer sums, disjoint writes) fan out, and the
+	// random stream is never touched off the submitting goroutine.
+	QueryPool *parallel.Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +141,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.QueryPool == nil {
+		o.QueryPool = parallel.NewPool(o.Parallelism)
 	}
 	return o
 }
@@ -210,7 +239,8 @@ type ScoreIndex struct {
 	segs    []*segment
 	segSize int
 	par     int
-	quant   bool // segments carry 16-bit score codes (Options.Quantize)
+	pool    *parallel.Pool // intra-query reduction pool (Options.QueryPool)
+	quant   bool           // segments carry 16-bit score codes (Options.Quantize)
 	// backing pins externally-owned memory (a mapped file) the column
 	// and segment slices alias; nil for heap-built indexes. See
 	// FromExternal.
@@ -250,6 +280,7 @@ func NewWithOptions(scores []float64, opts Options) (*ScoreIndex, error) {
 		segs:     segs,
 		segSize:  opts.SegmentSize,
 		par:      opts.Parallelism,
+		pool:     opts.QueryPool,
 		quant:    opts.Quantize,
 		mixtures: make(map[MixtureKey]*mixture),
 	}, nil
@@ -269,7 +300,7 @@ func (ix *ScoreIndex) Append(extra []float64) (*ScoreIndex, error) {
 	own := make([]float64, old+len(extra))
 	copy(own, ix.scores)
 	copy(own[old:], extra)
-	opts := Options{SegmentSize: ix.segSize, Parallelism: ix.par, Quantize: ix.quant}
+	opts := Options{SegmentSize: ix.segSize, Parallelism: ix.par, Quantize: ix.quant, QueryPool: ix.pool}
 	fresh, err := buildSegments(own, old, opts)
 	if err != nil {
 		return nil, err
@@ -294,6 +325,7 @@ func (ix *ScoreIndex) Append(extra []float64) (*ScoreIndex, error) {
 		segs:    segs,
 		segSize: ix.segSize,
 		par:     ix.par,
+		pool:    ix.pool,
 		quant:   ix.quant,
 		// Old segments share their perm/sorted slices, which may alias
 		// externally-owned memory — keep it pinned.
@@ -314,35 +346,14 @@ func buildSegments(column []float64, start int, opts Options) ([]*segment, error
 	errs := make([]error, count)
 	errAt := make([]int, count)
 
-	workers := opts.Parallelism
-	if workers > count {
-		workers = count
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				j := next
-				next++
-				mu.Unlock()
-				if j >= count {
-					return
-				}
-				base := start + j*opts.SegmentSize
-				end := base + opts.SegmentSize
-				if end > len(column) {
-					end = len(column)
-				}
-				segs[j], errAt[j], errs[j] = buildSegment(column, base, end, opts.Quantize)
-			}
-		}()
-	}
-	wg.Wait()
+	parallel.Run(opts.Parallelism, count, func(j int) {
+		base := start + j*opts.SegmentSize
+		end := base + opts.SegmentSize
+		if end > len(column) {
+			end = len(column)
+		}
+		segs[j], errAt[j], errs[j] = buildSegment(column, base, end, opts.Quantize)
+	})
 
 	firstErr, firstAt := error(nil), -1
 	for j := range errs {
@@ -427,9 +438,26 @@ func (ix *ScoreIndex) Score(i int) float64 { return ix.scores[i] }
 // is shared with the index and must be treated as read-only.
 func (ix *ScoreIndex) Scores() []float64 { return ix.scores }
 
+// countParallelMinSegs gates the parallel CountAtLeast reduction: each
+// segment contributes one O(log S) binary search, so fanning out pays
+// only when there are enough segments to amortize spawning helpers.
+// Below the bound (including every default-segment-size table under
+// ~8M records) the sequential loop is faster and allocation-free.
+const countParallelMinSegs = 32
+
 // CountAtLeast returns |{x : A(x) >= tau}| as the sum of exact
-// per-segment binary-search counts — O(S/segSize · log segSize).
+// per-segment binary-search counts — O(S/segSize · log segSize). With
+// many segments and a query pool the per-segment counts fan out and
+// accumulate atomically; integer addition commutes exactly, so the sum
+// is identical to the sequential loop's at any parallelism.
 func (ix *ScoreIndex) CountAtLeast(tau float64) int {
+	if len(ix.segs) >= countParallelMinSegs && ix.pool.Limit() > 1 {
+		var total atomic.Int64
+		ix.pool.ForEach(len(ix.segs), func(j int) {
+			total.Add(int64(ix.segs[j].countAtLeast(tau)))
+		})
+		return int(total.Load())
+	}
 	n := 0
 	for _, s := range ix.segs {
 		n += s.countAtLeast(tau)
@@ -467,13 +495,53 @@ func (ix *ScoreIndex) KthHighest(k int) float64 {
 	return math.Float64frombits(lo)
 }
 
+// appendParallelMinIDs gates the parallel AppendAtLeast gather: below
+// this many emitted ids the sequential per-segment loop beats the cost
+// of the counting pre-pass plus helper spawns.
+const appendParallelMinIDs = 1 << 14
+
 // AppendAtLeast appends the record ids with score >= tau to dst in
 // ascending id order and returns the extended slice. With capacity
 // already in dst (size it with CountAtLeast) the call does not
 // allocate. Segments partition the id space in ascending order, so
 // emitting each segment's ascending matches in segment order yields
 // the globally ascending id list.
+//
+// Large gathers with a query pool fan out: an exact per-segment count
+// pre-pass (binary searches) sizes disjoint destination slots at fixed
+// offsets, each segment emits into its own slot concurrently, and the
+// slots concatenate in segment order — every byte of output, and its
+// position, is the one the sequential loop writes.
 func (ix *ScoreIndex) AppendAtLeast(dst []int, tau float64) []int {
+	if len(ix.segs) > 1 && ix.pool.Limit() > 1 {
+		base := len(dst)
+		// Common segment counts keep the offset table on the stack so the
+		// pre-pass stays allocation-free on the hot path.
+		var offBuf [33]int
+		offs := offBuf[:]
+		if len(ix.segs)+1 > len(offBuf) {
+			offs = make([]int, len(ix.segs)+1)
+		}
+		for j, s := range ix.segs {
+			offs[j+1] = offs[j] + s.countAtLeast(tau)
+		}
+		if total := offs[len(ix.segs)]; total >= appendParallelMinIDs {
+			if cap(dst) < base+total {
+				grown := make([]int, base, base+total)
+				copy(grown, dst)
+				dst = grown
+			}
+			dst = dst[:base+total]
+			ix.pool.ForEach(len(ix.segs), func(j int) {
+				lo, hi := base+offs[j], base+offs[j+1]
+				// Full slice expression: a slot's cap ends where the next
+				// slot begins, so appendAtLeast can never write outside
+				// its own segment's range.
+				ix.segs[j].appendAtLeast(dst[lo:lo:hi], tau)
+			})
+			return dst
+		}
+	}
 	for _, s := range ix.segs {
 		dst = s.appendAtLeast(dst, tau)
 	}
@@ -515,9 +583,18 @@ func (h *mergeHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:l
 
 // Ascend streams every (record id, score) pair in ascending (score,
 // id) order — the global sorted view a monolithic index stores
-// explicitly — via a k-way heap merge of the per-segment sorted runs,
-// O(n log S) for S segments. Iteration stops when yield returns false.
+// explicitly — via a loser-tree k-way merge of the per-segment sorted
+// runs (see losertree.go), O(n log S) for S segments with one
+// comparison per level per pop and the quantized code carried inline.
+// Iteration stops when yield returns false.
 func (ix *ScoreIndex) Ascend(yield func(id int, score float64) bool) {
+	newLoserTree(ix.segs, ix.quant).ascend(yield)
+}
+
+// ascendHeap is the historical container/heap merge, retained as the
+// independent test oracle for the loser tree (the equivalence sweep in
+// losertree_test.go pins Ascend's output against it).
+func (ix *ScoreIndex) ascendHeap(yield func(id int, score float64) bool) {
 	h := make(mergeHeap, 0, len(ix.segs))
 	for _, s := range ix.segs {
 		if len(s.sorted) > 0 {
@@ -661,39 +738,10 @@ func (ix *ScoreIndex) buildMixture(exponent, mix float64) *mixture {
 }
 
 // eachSegmentParallel runs fn over every segment across the index's
-// build worker pool. fn must only write state disjoint between
+// shared query pool. fn must only write state disjoint between
 // segments.
 func (ix *ScoreIndex) eachSegmentParallel(fn func(*segment)) {
-	workers := ix.par
-	if workers > len(ix.segs) {
-		workers = len(ix.segs)
-	}
-	if workers <= 1 {
-		for _, s := range ix.segs {
-			fn(s)
-		}
-		return
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				j := next
-				next++
-				mu.Unlock()
-				if j >= len(ix.segs) {
-					return
-				}
-				fn(ix.segs[j])
-			}
-		}()
-	}
-	wg.Wait()
+	ix.pool.ForEach(len(ix.segs), func(j int) { fn(ix.segs[j]) })
 }
 
 // CachedMixtures reports how many (exponent, mix) entries the cache

@@ -27,9 +27,12 @@ var gatedBenchPackages = map[string]bool{
 //     iterations and benchmarks.
 //   - benchmarks in the gated batteries must call b.ReportAllocs so
 //     allocs/op is present no matter how the benchmark is invoked.
+//   - setup/warmup work (index builds, arena priming, warm queries)
+//     before the first b.N loop with no intervening b.ResetTimer is
+//     charged to the timed region, skewing every committed ns/op.
 var BenchHygiene = &Analyzer{
 	Name:       "benchhygiene",
-	Doc:        "flag ReportMetric-before-ResetTimer, timer imbalance, and missing ReportAllocs in gated benchmarks",
+	Doc:        "flag ReportMetric-before-ResetTimer, timer imbalance, warmup in the timed region, and missing ReportAllocs in gated benchmarks",
 	Annotation: "benchhygiene",
 	TestFiles:  true,
 	Run:        runBenchHygiene,
@@ -70,6 +73,12 @@ type benchEvents struct {
 	startTimer   int
 	runs         []*ast.FuncLit
 	hasRun       bool
+	// firstLoop is the position of the first b.N-bounded loop directly
+	// in this scope (NoPos if the scope has none), and setupCalls are
+	// the non-testing.B function calls that precede it in source order
+	// — warmup work that b.ResetTimer must discharge.
+	firstLoop  token.Pos
+	setupCalls []token.Pos
 }
 
 func checkBenchScope(pass *Pass, name string, pos token.Pos, body *ast.BlockStmt, gated bool) {
@@ -95,6 +104,26 @@ func checkBenchScope(pass *Pass, name string, pos token.Pos, body *ast.BlockStmt
 			name+" is in a CI-gated benchmark battery but never calls b.ReportAllocs: allocs/op silently disappears without -benchmem",
 			"call b.ReportAllocs() before the measured loop")
 	}
+	if ev.firstLoop.IsValid() {
+		var offending token.Pos
+		for _, c := range ev.setupCalls {
+			discharged := false
+			for _, rt := range ev.resetTimer {
+				if rt > c && rt < ev.firstLoop {
+					discharged = true
+					break
+				}
+			}
+			if !discharged {
+				offending = c
+			}
+		}
+		if offending.IsValid() {
+			pass.Report(offending,
+				"setup/warmup call inside the timed region: it precedes the first b.N loop with no intervening b.ResetTimer, so its cost is charged to every committed ns/op",
+				"call b.ResetTimer() after the setup work and before the measured loop")
+		}
+	}
 
 	for _, lit := range ev.runs {
 		checkBenchScope(pass, name+" sub-benchmark", lit.Pos(), lit.Body, gated)
@@ -107,12 +136,21 @@ func collectBenchEvents(pass *Pass, body *ast.BlockStmt) *benchEvents {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false // sub-scopes handled separately (via b.Run) or ignored
 		}
+		if !ev.firstLoop.IsValid() && isBenchNLoop(pass, n) {
+			ev.firstLoop = n.Pos()
+		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
 		if !ok || !namedTypeIs(pass.TypeOf(sel.X), "testing", "B") {
+			// A resolvable non-testing.B function or method call ahead of
+			// the b.N loop is setup work (conversions and builtins, which
+			// CalleeFunc cannot resolve, are free and skipped).
+			if !ev.firstLoop.IsValid() && pass.CalleeFunc(call) != nil {
+				ev.setupCalls = append(ev.setupCalls, call.Pos())
+			}
 			return true
 		}
 		switch sel.Sel.Name {
@@ -137,4 +175,30 @@ func collectBenchEvents(pass *Pass, body *ast.BlockStmt) *benchEvents {
 		return true
 	})
 	return ev
+}
+
+// isBenchNLoop reports whether n is a loop bounded by b.N — either the
+// classic three-clause form or a Go 1.22 range-over-int.
+func isBenchNLoop(pass *Pass, n ast.Node) bool {
+	var header ast.Node
+	switch loop := n.(type) {
+	case *ast.ForStmt:
+		if loop.Cond == nil {
+			return false
+		}
+		header = loop.Cond
+	case *ast.RangeStmt:
+		header = loop.X
+	default:
+		return false
+	}
+	found := false
+	ast.Inspect(header, func(m ast.Node) bool {
+		sel, ok := m.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "N" && namedTypeIs(pass.TypeOf(sel.X), "testing", "B") {
+			found = true
+		}
+		return !found
+	})
+	return found
 }

@@ -13,6 +13,7 @@ import (
 var resultPathPackages = []string{
 	"internal/core",
 	"internal/index",
+	"internal/parallel",
 	"internal/sampling",
 	"internal/dist",
 	"internal/multiproxy",

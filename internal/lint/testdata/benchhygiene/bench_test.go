@@ -62,6 +62,51 @@ func BenchmarkAnnotated(b *testing.B) {
 	b.ReportMetric(1, "configs")
 }
 
+func BenchmarkWarmupInTimedRegion(b *testing.B) {
+	b.ReportAllocs()
+	n := prepare() // want `setup/warmup call inside the timed region`
+	for i := 0; i < b.N; i++ {
+		n++
+	}
+}
+
+func BenchmarkWarmupDischarged(b *testing.B) {
+	b.ReportAllocs()
+	n := prepare()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n++
+	}
+}
+
+func BenchmarkWarmupAnnotated(b *testing.B) {
+	b.ReportAllocs()
+	//supg:benchhygiene-ok fixture: the prepared value is the measured input and must be charged
+	n := prepare()
+	for i := 0; i < b.N; i++ {
+		n++
+	}
+}
+
+func BenchmarkWarmupSubs(b *testing.B) {
+	scores := prepare()
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		n := prepare() // want `setup/warmup call inside the timed region`
+		for i := 0; i < b.N; i++ {
+			n += scores
+		}
+	})
+	b.Run("discharged", func(b *testing.B) {
+		b.ReportAllocs()
+		n := prepare()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n += scores
+		}
+	})
+}
+
 // BenchmarkShaped is not a real benchmark (wrong signature): ignored.
 func BenchmarkShaped(n int) int { return n }
 

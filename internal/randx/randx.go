@@ -12,21 +12,28 @@ import (
 	"math/rand/v2"
 )
 
-// Rand is a deterministic random source. It wraps *rand.Rand with
+// Rand is a deterministic random source. It wraps rand.Rand with
 // convenience methods and deterministic stream derivation. It is not
 // safe for concurrent use; derive one stream per goroutine with Stream.
+//
+// The PCG state is embedded rather than boxed so constructing a Rand —
+// which query paths do several times per query for stream derivation —
+// costs a single allocation. The generator and its consumption are
+// exactly rand.New(rand.NewPCG(...)); only the memory layout differs,
+// so sequences are unchanged.
 type Rand struct {
-	src  *rand.Rand
+	src  rand.Rand
+	pcg  rand.PCG
 	seed uint64
 }
 
 // New returns a Rand seeded with seed. Two Rands created with the same
 // seed produce identical sequences.
 func New(seed uint64) *Rand {
-	return &Rand{
-		src:  rand.New(rand.NewPCG(seed, mix(seed))),
-		seed: seed,
-	}
+	r := &Rand{seed: seed}
+	r.pcg.Seed(seed, mix(seed))
+	r.src = *rand.New(&r.pcg)
+	return r
 }
 
 // mix scrambles a seed with the SplitMix64 finalizer so that nearby

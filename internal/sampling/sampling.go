@@ -151,11 +151,18 @@ func (a *Alias) Draw(r *randx.Rand) int {
 
 // DrawN returns k indices drawn with replacement.
 func (a *Alias) DrawN(r *randx.Rand, k int) []int {
-	out := make([]int, k)
-	for i := range out {
-		out[i] = a.Draw(r)
+	return a.DrawNInto(r, make([]int, k))
+}
+
+// DrawNInto fills dst with len(dst) indices drawn with replacement and
+// returns it. It is the allocation-free form of DrawN for callers that
+// recycle scratch buffers: the draws consume the random stream exactly
+// as DrawN does, so the two are interchangeable result-wise.
+func (a *Alias) DrawNInto(r *randx.Rand, dst []int) []int {
+	for i := range dst {
+		dst[i] = a.Draw(r)
 	}
-	return out
+	return dst
 }
 
 // Len returns the support size of the table.

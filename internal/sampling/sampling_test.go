@@ -327,3 +327,25 @@ func TestUniformWithoutReplacementProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDrawNIntoMatchesDrawN pins the interchangeability contract: for
+// a fixed seed, DrawNInto fills exactly the sequence DrawN allocates,
+// including over a recycled buffer holding stale values.
+func TestDrawNIntoMatchesDrawN(t *testing.T) {
+	a := NewAlias([]float64{0.5, 1, 0, 2.5, 0.25})
+	want := a.DrawN(randx.New(31), 100)
+	got := a.DrawNInto(randx.New(31), make([]int, 100))
+	dirty := make([]int, 100)
+	for i := range dirty {
+		dirty[i] = -1
+	}
+	reused := a.DrawNInto(randx.New(31), dirty)
+	for i := range want {
+		if got[i] != want[i] || reused[i] != want[i] {
+			t.Fatalf("draw %d: into=%d reused=%d, DrawN=%d", i, got[i], reused[i], want[i])
+		}
+	}
+	if out := a.DrawNInto(randx.New(31), nil); len(out) != 0 {
+		t.Fatalf("DrawNInto(nil) returned %d draws", len(out))
+	}
+}
